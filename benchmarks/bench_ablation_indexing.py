@@ -1,0 +1,78 @@
+"""E12 — ablation: the two indexing optimizations inside the coordination path.
+
+1. The **provider index** refinement by (relation, arity, constant position,
+   constant value).  Without it, every pending query with a head over the same
+   answer relation is a candidate provider and must be filtered by
+   unification; with it, only queries naming the right partner are considered.
+   The gap widens with pool size — exactly the loaded-system setting of E10.
+
+2. The **relational index lookup** rewrite in the execution engine, which
+   turns the `dest = '...'` domain subqueries of travel queries into hash
+   probes instead of scans.  The gap widens with the size of the Flights
+   table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import pair_workload
+from repro.workloads import run_workload
+
+
+@pytest.mark.parametrize("use_constant_index", [True, False], ids=["indexed", "naive"])
+@pytest.mark.parametrize("noise", [200, 800])
+def test_provider_index_ablation(benchmark, report, use_constant_index, noise):
+    """Match one pair against a pool of `noise` pending queries."""
+
+    def setup():
+        system, items = pair_workload(
+            1, seed=5, num_unmatchable=noise, use_constant_index=use_constant_index
+        )
+        noise_items = [item for item in items if not item.expected_group]
+        pair_items = [item for item in items if item.expected_group]
+        for item in noise_items:
+            system.submit_entangled(item.query, owner=item.owner)
+        return (system, pair_items), {}
+
+    def run(system, pair_items):
+        before = system.statistics()["unification_attempts"]
+        requests = [system.submit_entangled(item.query, owner=item.owner) for item in pair_items]
+        assert all(request.is_answered for request in requests)
+        return system.statistics()["unification_attempts"] - before
+
+    unifications = benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+    report(
+        provider_index="constant-position" if use_constant_index else "relation-only",
+        pool_noise=noise,
+        unification_attempts_for_pair=unifications,
+    )
+
+
+@pytest.mark.parametrize("enable_index_lookup", [True, False], ids=["hash-probe", "scan"])
+@pytest.mark.parametrize("num_flights", [200, 800])
+def test_engine_index_lookup_ablation(benchmark, report, enable_index_lookup, num_flights):
+    """Domain-subquery grounding with and without the index-lookup rewrite."""
+    from repro.workloads import WorkloadConfig, WorkloadGenerator, build_loaded_system
+
+    def setup():
+        system, service, _friends = build_loaded_system(
+            num_flights=num_flights, num_hotels=20, num_users=4, seed=6,
+            enable_index_lookup=enable_index_lookup,
+        )
+        system.database.table("Flights").create_index("by_dest", ["dest"])
+        generator = WorkloadGenerator(service, WorkloadConfig(num_pairs=20, seed=6))
+        return (system, generator.generate()), {}
+
+    def run(system, items):
+        result = run_workload(system, items)
+        assert result.all_answered
+        return result
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    report(
+        plan="IndexLookup" if enable_index_lookup else "Scan+Filter",
+        flights=num_flights,
+        queries=result.submitted,
+        domain_queries=result.statistics["domain_queries"],
+    )

@@ -1,0 +1,87 @@
+"""E3-E8 — the demo scenarios of Section 3.1 as benchmarks.
+
+One benchmark per scenario; each measures the full middle-tier path (building
+the entangled queries from TripRequests, submitting them, coordinating, and
+writing the reservations) on a fresh travel database.  The expected shape is
+that every scenario coordinates completely and that cost grows with the number
+of queries in the coordination group, not with the size of the database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    adhoc_chain,
+    group_flight,
+    group_flight_hotel,
+    many_pairs,
+    pair_flight,
+    pair_flight_hotel,
+)
+
+
+def test_pair_flight(benchmark, report):
+    """E3 — book a flight with a friend."""
+    outcome = benchmark.pedantic(lambda: pair_flight(seed=0), rounds=15, iterations=1)
+    assert outcome.coordinated
+    report(queries=outcome.result.submitted, answered=outcome.result.answered,
+           groups=outcome.result.statistics["groups_matched"])
+
+
+def test_pair_flight_hotel(benchmark, report):
+    """E4 — book a flight and a hotel with a friend (one entangled query each)."""
+    outcome = benchmark.pedantic(lambda: pair_flight_hotel(seed=0), rounds=15, iterations=1)
+    assert outcome.coordinated
+    report(queries=outcome.result.submitted,
+           flight_tuples=len(outcome.answer_relation("Reservation")),
+           hotel_tuples=len(outcome.answer_relation("HotelReservation")))
+
+
+@pytest.mark.parametrize("num_pairs", [4, 16, 64])
+def test_many_pairs(benchmark, report, num_pairs):
+    """E5 — multiple simultaneous bookings (independent pairs)."""
+    outcome = benchmark.pedantic(
+        lambda: many_pairs(num_pairs=num_pairs, seed=0), rounds=5, iterations=1
+    )
+    assert outcome.coordinated
+    per_query_ms = 1000.0 * outcome.result.elapsed_seconds / outcome.result.submitted
+    report(pairs=num_pairs, queries=outcome.result.submitted,
+           per_query_ms=round(per_query_ms, 3))
+
+
+@pytest.mark.parametrize("group_size", [2, 4, 8])
+def test_group_flight(benchmark, report, group_size):
+    """E6 — group flight booking (the demo uses a group of four)."""
+    outcome = benchmark.pedantic(
+        lambda: group_flight(group_size=group_size, seed=0), rounds=5, iterations=1
+    )
+    assert outcome.coordinated
+    flights = {fno for _t, fno in outcome.answer_relation("Reservation")}
+    assert len(flights) == 1
+    report(group_size=group_size, queries=outcome.result.submitted,
+           structural_nodes=outcome.result.statistics["structural_nodes"])
+
+
+@pytest.mark.parametrize("group_size", [2, 4])
+def test_group_flight_hotel(benchmark, report, group_size):
+    """E7 — group flight and hotel booking."""
+    outcome = benchmark.pedantic(
+        lambda: group_flight_hotel(group_size=group_size, seed=0), rounds=5, iterations=1
+    )
+    assert outcome.coordinated
+    report(group_size=group_size,
+           flight_tuples=len(outcome.answer_relation("Reservation")),
+           hotel_tuples=len(outcome.answer_relation("HotelReservation")))
+
+
+@pytest.mark.parametrize("length", [3, 5, 7])
+def test_adhoc_chain(benchmark, report, length):
+    """E8 — ad-hoc coordination structures (chains of overlapping constraints)."""
+    outcome = benchmark.pedantic(
+        lambda: adhoc_chain(length=length, seed=0), rounds=5, iterations=1
+    )
+    assert outcome.coordinated
+    report(chain_length=length,
+           flights_chosen=len({fno for _t, fno in outcome.answer_relation("Reservation")}),
+           groups=outcome.result.statistics["groups_matched"])

@@ -1,0 +1,51 @@
+"""Demo application #2 (experiment E9): the SQL command-line interface.
+
+Drives the scriptable shell the way a demo presenter would: create the flight
+table, submit Kramer's and Jerry's entangled queries directly as SQL, inspect
+the pending pool in between, and read the coordinated answers back.
+
+Run with:  python examples/cli_session.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.cli import CommandLine  # noqa: E402
+
+SESSION = [
+    "CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT, price REAL)",
+    "INSERT INTO Flights VALUES (122, 'Paris', 450.0), (123, 'Paris', 500.0), "
+    "(134, 'Paris', 700.0), (136, 'Rome', 300.0)",
+    "SELECT * FROM Flights ORDER BY fno",
+    ".user Kramer",
+    "SELECT 'Kramer', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+    "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+    ".pending",
+    ".user Jerry",
+    "SELECT 'Jerry', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+    "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+    ".answers Reservation",
+    "SELECT r.traveler, f.price FROM Reservation r JOIN Flights f ON r.fno = f.fno",
+    ".stats",
+]
+
+
+def main() -> int:
+    shell = CommandLine()
+    for line in SESSION:
+        print(f"youtopia> {line}")
+        output = shell.run_line(line)
+        if output:
+            print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Quickstart: the paper's running example (Figure 1), end to end.
+
+Kramer and Jerry each submit an entangled query asking for a flight to Paris,
+conditional on the *other* person getting the same flight.  Neither query can
+be answered alone; once both are registered, Youtopia answers them jointly and
+both receive the same (nondeterministically chosen) flight number.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import YoutopiaSystem  # noqa: E402
+
+
+def main() -> int:
+    system = YoutopiaSystem(seed=0)
+
+    # -- the flight database of Figure 1(a) ------------------------------------
+    system.execute_script(
+        """
+        CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT);
+        CREATE TABLE Airlines (fno INT PRIMARY KEY, airline TEXT);
+        INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (134, 'Paris'), (136, 'Rome');
+        INSERT INTO Airlines VALUES (122, 'United'), (123, 'United'),
+                                    (134, 'Lufthansa'), (136, 'Alitalia');
+        """
+    )
+    system.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+
+    # -- Kramer's entangled query (Section 2.1 of the paper) --------------------
+    kramer = system.submit_entangled(
+        "SELECT 'Kramer', fno INTO ANSWER Reservation "
+        "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+        "AND ('Jerry', fno) IN ANSWER Reservation "
+        "CHOOSE 1",
+        owner="Kramer",
+    )
+    print(f"Kramer's query {kramer.query_id}: {kramer.status.value}")
+    print("  (it cannot be answered alone — it waits for Jerry)")
+
+    # -- Jerry's symmetric query -------------------------------------------------
+    jerry = system.submit_entangled(
+        "SELECT 'Jerry', fno INTO ANSWER Reservation "
+        "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+        "AND ('Kramer', fno) IN ANSWER Reservation "
+        "CHOOSE 1",
+        owner="Jerry",
+    )
+    print(f"Jerry's query  {jerry.query_id}: {jerry.status.value}")
+    print(f"Kramer's query {kramer.query_id}: {kramer.status.value}  (answered jointly)")
+
+    # -- the shared answer relation (Figure 1(b)) ---------------------------------
+    print("\nReservation answer relation:")
+    for traveler, fno in system.answers("Reservation"):
+        print(f"  R({traveler!r}, {fno})")
+
+    result = system.query(
+        "SELECT r.traveler, r.fno, a.airline "
+        "FROM Reservation r JOIN Airlines a ON r.fno = a.fno ORDER BY r.traveler"
+    )
+    print("\nJoined with the Airlines table (plain SQL over the answer relation):")
+    for traveler, fno, airline in result.rows:
+        print(f"  {traveler} flies {airline} flight {fno}")
+
+    fnos = {fno for _traveler, fno in system.answers("Reservation")}
+    assert len(fnos) == 1 and fnos.pop() in (122, 123, 134)
+    print("\nBoth friends are on the same Paris flight — coordination succeeded.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

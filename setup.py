@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The build environment of this reproduction has no network access and ships a
+setuptools without the ``wheel`` package, so PEP 660 editable installs cannot
+build a wheel.  Keeping a classic ``setup.py`` lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` path, which works offline.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""Reproduction of "Coordination through Querying in the Youtopia System".
+
+Youtopia (SIGMOD 2011 demo) is a database system that supports *declarative
+data-driven coordination*: users submit **entangled queries** whose answers
+are placed in shared answer relations and are only produced when the
+coordination constraints of a whole group of queries can be satisfied jointly.
+
+Quickstart::
+
+    from repro import YoutopiaSystem
+
+    system = YoutopiaSystem(seed=0)
+    system.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
+    system.execute("INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris')")
+    system.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+
+    kramer = system.submit_entangled(
+        "SELECT 'Kramer', fno INTO ANSWER Reservation "
+        "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+        "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1",
+        owner="Kramer",
+    )
+    jerry = system.submit_entangled(
+        "SELECT 'Jerry', fno INTO ANSWER Reservation "
+        "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+        "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1",
+        owner="Jerry",
+    )
+    assert jerry.is_answered and kramer.is_answered
+    print(system.answers("Reservation"))
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduced demo scenarios and benchmarks.
+"""
+
+from repro.core import (
+    AnalysisReport,
+    AnswerRelationRegistry,
+    CoordinationRequest,
+    Coordinator,
+    EntangledQueryBuilder,
+    EventBus,
+    EventType,
+    ExhaustiveEvaluator,
+    MatchedGroup,
+    Matcher,
+    ProviderIndex,
+    QueryStatus,
+    YoutopiaSession,
+    YoutopiaSystem,
+    analyze,
+    check,
+    compile_entangled,
+    ir,
+    var,
+)
+from repro.errors import YoutopiaError
+from repro.relalg import QueryEngine, QueryResult
+from repro.storage import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "AnswerRelationRegistry",
+    "CoordinationRequest",
+    "Coordinator",
+    "Database",
+    "EntangledQueryBuilder",
+    "EventBus",
+    "EventType",
+    "ExhaustiveEvaluator",
+    "MatchedGroup",
+    "Matcher",
+    "ProviderIndex",
+    "QueryEngine",
+    "QueryResult",
+    "QueryStatus",
+    "YoutopiaError",
+    "YoutopiaSession",
+    "YoutopiaSystem",
+    "analyze",
+    "check",
+    "compile_entangled",
+    "ir",
+    "var",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""The three demo applications built on top of Youtopia.
+
+* :mod:`repro.apps.travel` — the coordinated travel web site's middle tier
+* :mod:`repro.apps.cli` — the SQL / entangled-SQL command line
+* :mod:`repro.apps.admin` — the administrative inspection interface
+"""
+
+from repro.apps.admin import AdminInterface
+from repro.apps.cli import CommandLine
+
+__all__ = ["AdminInterface", "CommandLine"]

@@ -1,0 +1,214 @@
+"""SQL command-line interface (demo application #2).
+
+"Our second application is an SQL command line interface which allows SQL and
+entangled queries to be input directly to the system by the user."
+
+The :class:`CommandLine` class is fully scriptable (``run_line`` /
+``run_script`` return the printed text), which is how the integration tests
+and the ``examples/cli_session.py`` example drive it; :func:`main` wraps it in
+an interactive read-eval-print loop.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional
+
+from repro.core.coordinator import CoordinationRequest, QueryStatus
+from repro.core.system import YoutopiaSystem
+from repro.errors import YoutopiaError
+from repro.relalg.engine import QueryResult
+
+_HELP_TEXT = """\
+Youtopia SQL command line.
+Plain SQL statements and entangled queries (SELECT ... INTO ANSWER ... CHOOSE k)
+are executed directly.  Dot-commands:
+  .help                 show this help
+  .tables               list tables in the catalog
+  .schema NAME          show the columns of a table
+  .pending              list pending entangled queries
+  .describe QUERY_ID    show a query's internal representation and analysis
+  .graph                show the potential-match graph over pending queries
+  .answers RELATION     show the contents of an answer relation
+  .requests             list all coordination requests and their status
+  .stats                show coordination statistics
+  .explain SELECT ...   show the optimized plan of a plain SELECT
+  .retry                re-attempt matching for all pending queries
+  .cancel QUERY_ID      withdraw a pending entangled query
+  .user NAME            set the owner attached to subsequent entangled queries
+  .quit                 leave the shell
+"""
+
+
+def format_result_table(columns: list[str], rows: list[tuple]) -> str:
+    """Render a result set as a fixed-width text table."""
+    if not columns:
+        return "(no columns)"
+    rendered_rows = [[("" if value is None else str(value)) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [header, separator]
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+class CommandLine:
+    """A scriptable Youtopia shell bound to one system instance."""
+
+    def __init__(self, system: Optional[YoutopiaSystem] = None, user: Optional[str] = None) -> None:
+        self.system = system or YoutopiaSystem()
+        self.user = user
+        self.done = False
+
+    # -- command dispatch ---------------------------------------------------------------
+
+    def run_line(self, line: str) -> str:
+        """Execute one input line and return the text to display."""
+        stripped = line.strip()
+        if not stripped:
+            return ""
+        try:
+            if stripped.startswith("."):
+                return self._run_dot_command(stripped)
+            return self._run_sql(stripped)
+        except YoutopiaError as exc:
+            return f"error: {exc}"
+
+    def run_script(self, lines: Iterable[str]) -> list[str]:
+        """Run several input lines, returning one output string per line."""
+        return [self.run_line(line) for line in lines]
+
+    # -- SQL ------------------------------------------------------------------------------
+
+    def _run_sql(self, sql: str) -> str:
+        outputs: list[str] = []
+        for result in self.system.execute_script(sql, owner=self.user):
+            if isinstance(result, QueryResult):
+                outputs.append(self._format_query_result(result))
+            elif isinstance(result, CoordinationRequest):
+                outputs.append(self._format_request(result))
+        return "\n".join(output for output in outputs if output)
+
+    @staticmethod
+    def _format_query_result(result: QueryResult) -> str:
+        if result.command == "SELECT":
+            return format_result_table(result.columns, result.rows)
+        if result.command in ("INSERT", "UPDATE", "DELETE"):
+            return f"{result.command}: {result.affected} row(s) affected"
+        return f"{result.command}: ok"
+
+    @staticmethod
+    def _format_request(request: CoordinationRequest) -> str:
+        if request.status is QueryStatus.ANSWERED and request.answer is not None:
+            tuples = ", ".join(
+                f"{relation}{values}" for relation, values in request.answer.all_tuples()
+            )
+            return (
+                f"entangled query {request.query_id} ANSWERED jointly with "
+                f"{len(request.group_query_ids) - 1} other quer(y/ies): {tuples}"
+            )
+        return (
+            f"entangled query {request.query_id} registered and PENDING "
+            "(waiting for matching queries)"
+        )
+
+    # -- dot commands ------------------------------------------------------------------------
+
+    def _run_dot_command(self, command: str) -> str:
+        parts = command.split()
+        name = parts[0].lower()
+        argument = parts[1] if len(parts) > 1 else None
+
+        if name in (".quit", ".exit"):
+            self.done = True
+            return "bye"
+        if name == ".help":
+            return _HELP_TEXT
+        if name == ".tables":
+            return "\n".join(self.system.database.table_names())
+        if name == ".schema":
+            if argument is None:
+                return "usage: .schema TABLE"
+            schema = self.system.database.schema(argument)
+            lines = [
+                f"{column.name} {column.type.value}" + ("" if column.nullable else " NOT NULL")
+                for column in schema.columns
+            ]
+            if schema.primary_key:
+                lines.append(f"PRIMARY KEY ({', '.join(schema.primary_key)})")
+            return "\n".join(lines)
+        if name == ".pending":
+            pending = self.system.pending_queries()
+            if not pending:
+                return "(no pending entangled queries)"
+            return "\n".join(f"{query.query_id} [{query.owner}]: {query.describe()}" for query in pending)
+        if name == ".describe":
+            if argument is None:
+                return "usage: .describe QUERY_ID"
+            from repro.apps.admin import AdminInterface
+
+            return AdminInterface(self.system).describe_query(argument)
+        if name == ".graph":
+            from repro.apps.admin import AdminInterface
+
+            return AdminInterface(self.system).match_graph_text()
+        if name == ".explain":
+            statement_text = command[len(".explain"):].strip()
+            if not statement_text:
+                return "usage: .explain SELECT ..."
+            return self.system.engine.explain(statement_text)
+        if name == ".answers":
+            if argument is None:
+                return "usage: .answers RELATION"
+            tuples = self.system.answers(argument)
+            columns = list(self.system.database.schema(argument).column_names)
+            return format_result_table(columns, tuples)
+        if name == ".requests":
+            requests = self.system.coordinator.requests()
+            if not requests:
+                return "(no coordination requests)"
+            return "\n".join(
+                f"{request.query_id} [{request.owner}]: {request.status.value}"
+                for request in requests
+            )
+        if name == ".stats":
+            statistics = self.system.statistics()
+            return "\n".join(f"{key} = {value}" for key, value in sorted(statistics.items()))
+        if name == ".retry":
+            answered = self.system.retry_pending()
+            return f"retried pending queries; {answered} newly answered"
+        if name == ".cancel":
+            if argument is None:
+                return "usage: .cancel QUERY_ID"
+            self.system.cancel(argument)
+            return f"cancelled {argument}"
+        if name == ".user":
+            self.user = argument
+            return f"entangled queries will now be owned by {argument!r}"
+        return f"unknown command {name!r} (try .help)"
+
+
+def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interactive loop
+    """Interactive entry point (``youtopia-cli``)."""
+    del argv
+    shell = CommandLine()
+    print("Youtopia SQL shell — type .help for help, .quit to exit")
+    while not shell.done:
+        try:
+            line = input("youtopia> ")
+        except EOFError:
+            break
+        output = shell.run_line(line)
+        if output:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

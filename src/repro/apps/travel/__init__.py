@@ -1,0 +1,56 @@
+"""The coordinated travel application (demo application #1).
+
+Public surface:
+
+* :func:`~repro.apps.travel.dataset.install_and_load` / :func:`~repro.apps.travel.dataset.generate_dataset`
+* :class:`~repro.apps.travel.social.FriendGraph` / :func:`~repro.apps.travel.social.generate_friend_graph`
+* :class:`~repro.apps.travel.notifications.Mailbox`
+* :class:`~repro.apps.travel.service.TravelService` and the records in
+  :mod:`repro.apps.travel.models`
+"""
+
+from repro.apps.travel.dataset import (
+    ANSWER_RELATIONS,
+    TravelDataset,
+    figure1_rows,
+    generate_dataset,
+    install_and_load,
+    install_schema,
+    load_dataset,
+)
+from repro.apps.travel.models import (
+    BookingConfirmation,
+    Flight,
+    FlightBooking,
+    Hotel,
+    HotelBooking,
+    SeatAssignment,
+    TripRequest,
+    User,
+)
+from repro.apps.travel.notifications import Mailbox, Notification
+from repro.apps.travel.service import TravelService
+from repro.apps.travel.social import FriendGraph, generate_friend_graph
+
+__all__ = [
+    "ANSWER_RELATIONS",
+    "BookingConfirmation",
+    "Flight",
+    "FlightBooking",
+    "FriendGraph",
+    "Hotel",
+    "HotelBooking",
+    "Mailbox",
+    "Notification",
+    "SeatAssignment",
+    "TravelDataset",
+    "TravelService",
+    "TripRequest",
+    "User",
+    "figure1_rows",
+    "generate_dataset",
+    "generate_friend_graph",
+    "install_and_load",
+    "install_schema",
+    "load_dataset",
+]

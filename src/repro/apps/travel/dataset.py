@@ -1,0 +1,205 @@
+"""Synthetic travel datasets: flights, hotels, seats and users.
+
+The demo ran against a travel database populated for the conference floor; we
+generate an equivalent synthetic dataset deterministically from a seed.  The
+tiny four-flight database of Figure 1(a) is also available verbatim via
+:func:`figure1_rows` so the Figure-1 experiment reproduces the paper's example
+exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.apps.travel.models import Flight, Hotel, User
+from repro.core.system import YoutopiaSystem
+
+DEFAULT_DESTINATIONS = (
+    "Paris", "Rome", "Athens", "Berlin", "Madrid", "London", "Vienna", "Lisbon",
+)
+DEFAULT_ORIGINS = ("New York", "Boston", "Chicago", "San Francisco", "Ithaca")
+_AIRLINES = ("United", "Lufthansa", "Alitalia", "Delta", "Air France", "Iberia")
+_HOTEL_NAMES = (
+    "Grand", "Plaza", "Central", "Royal", "Parkview", "Riverside", "Imperial", "Station",
+)
+_FIRST_NAMES = (
+    "Jerry", "Kramer", "Elaine", "George", "Newman", "Susan", "Frank", "Estelle",
+    "Morty", "Helen", "David", "Tim", "Jackie", "Kenny", "Mickey", "Bania",
+)
+_DATES = ("2011-06-12", "2011-06-13", "2011-06-14", "2011-06-15", "2011-06-16")
+
+
+@dataclass
+class TravelDataset:
+    """An in-memory synthetic dataset ready to be loaded into a system."""
+
+    flights: list[Flight] = field(default_factory=list)
+    hotels: list[Hotel] = field(default_factory=list)
+    users: list[User] = field(default_factory=list)
+    seat_blocks: list[tuple[int, int, int]] = field(default_factory=list)
+    # seat_blocks rows are (fno, block_id, seats_free)
+
+    @property
+    def destinations(self) -> list[str]:
+        return sorted({flight.dest for flight in self.flights})
+
+
+def figure1_rows() -> tuple[list[tuple[int, str]], list[tuple[int, str]]]:
+    """The exact Flights / Airlines tables of Figure 1(a) of the paper."""
+    flights = [(122, "Paris"), (123, "Paris"), (134, "Paris"), (136, "Rome")]
+    airlines = [(122, "United"), (123, "United"), (134, "Lufthansa"), (136, "Alitalia")]
+    return flights, airlines
+
+
+def generate_dataset(
+    num_flights: int = 60,
+    num_hotels: int = 30,
+    num_users: int = 24,
+    destinations: Sequence[str] = DEFAULT_DESTINATIONS,
+    origins: Sequence[str] = DEFAULT_ORIGINS,
+    seats_per_flight: int = 50,
+    rooms_per_hotel: int = 40,
+    seed: int = 0,
+) -> TravelDataset:
+    """Generate a deterministic synthetic dataset.
+
+    Every destination receives at least one flight and one hotel so that any
+    coordination request over a listed destination is satisfiable in principle.
+    """
+    rng = random.Random(seed)
+    dataset = TravelDataset()
+
+    for index in range(num_flights):
+        dest = destinations[index % len(destinations)]
+        fno = 100 + index
+        dataset.flights.append(
+            Flight(
+                fno=fno,
+                origin=rng.choice(list(origins)),
+                dest=dest,
+                depart_date=rng.choice(_DATES),
+                price=float(rng.randrange(180, 950, 5)),
+                seats=seats_per_flight,
+                airline=rng.choice(_AIRLINES),
+            )
+        )
+        # Two seat blocks per flight, each able to hold a small group together.
+        for block in (1, 2):
+            dataset.seat_blocks.append((fno, block, max(2, seats_per_flight // 10)))
+
+    for index in range(num_hotels):
+        city = destinations[index % len(destinations)]
+        dataset.hotels.append(
+            Hotel(
+                hid=500 + index,
+                city=city,
+                name=f"{rng.choice(_HOTEL_NAMES)} {city}",
+                price=float(rng.randrange(60, 420, 5)),
+                rooms=rooms_per_hotel,
+                stars=rng.randrange(2, 6),
+            )
+        )
+
+    for index in range(num_users):
+        base = _FIRST_NAMES[index % len(_FIRST_NAMES)]
+        username = base if index < len(_FIRST_NAMES) else f"{base}{index}"
+        dataset.users.append(
+            User(
+                username=username,
+                full_name=f"{base} Example{index}",
+                home_city=rng.choice(list(origins)),
+            )
+        )
+
+    return dataset
+
+
+TRAVEL_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS Flights (
+    fno INTEGER NOT NULL,
+    origin TEXT,
+    dest TEXT NOT NULL,
+    depart_date TEXT,
+    price REAL,
+    seats INTEGER,
+    airline TEXT,
+    PRIMARY KEY (fno)
+);
+CREATE TABLE IF NOT EXISTS Hotels (
+    hid INTEGER NOT NULL,
+    city TEXT NOT NULL,
+    name TEXT,
+    price REAL,
+    rooms INTEGER,
+    stars INTEGER,
+    PRIMARY KEY (hid)
+);
+CREATE TABLE IF NOT EXISTS Seats (
+    fno INTEGER NOT NULL,
+    block_id INTEGER NOT NULL,
+    seats_free INTEGER,
+    PRIMARY KEY (fno, block_id)
+);
+CREATE TABLE IF NOT EXISTS Users (
+    username TEXT NOT NULL,
+    full_name TEXT,
+    home_city TEXT,
+    PRIMARY KEY (username)
+);
+"""
+
+# Answer relations of the travel application.  ``Reservation`` is the flight
+# answer relation of the paper's running example.
+ANSWER_RELATIONS = {
+    "Reservation": (("traveler", "fno"), ("TEXT", "INTEGER")),
+    "HotelReservation": (("traveler", "hid"), ("TEXT", "INTEGER")),
+    "SeatBlock": (("traveler", "fno", "block_id"), ("TEXT", "INTEGER", "INTEGER")),
+}
+
+
+def install_schema(system: YoutopiaSystem) -> None:
+    """Create the travel tables and declare the travel answer relations."""
+    system.execute_script(TRAVEL_SCHEMA_SQL)
+    for name, (columns, types) in ANSWER_RELATIONS.items():
+        system.declare_answer_relation(name, columns=list(columns), types=list(types))
+
+
+def load_dataset(system: YoutopiaSystem, dataset: TravelDataset) -> None:
+    """Insert a dataset into an already-installed schema."""
+    flights_table = system.database.table("Flights")
+    for flight in dataset.flights:
+        flights_table.insert(
+            (
+                flight.fno,
+                flight.origin,
+                flight.dest,
+                flight.depart_date,
+                flight.price,
+                flight.seats,
+                flight.airline,
+            )
+        )
+    hotels_table = system.database.table("Hotels")
+    for hotel in dataset.hotels:
+        hotels_table.insert(
+            (hotel.hid, hotel.city, hotel.name, hotel.price, hotel.rooms, hotel.stars)
+        )
+    seats_table = system.database.table("Seats")
+    for row in dataset.seat_blocks:
+        seats_table.insert(row)
+    users_table = system.database.table("Users")
+    for user in dataset.users:
+        users_table.insert((user.username, user.full_name, user.home_city))
+
+
+def install_and_load(
+    system: YoutopiaSystem, dataset: TravelDataset | None = None, seed: int = 0
+) -> TravelDataset:
+    """Convenience: install the schema and load a (possibly generated) dataset."""
+    if dataset is None:
+        dataset = generate_dataset(seed=seed)
+    install_schema(system)
+    load_dataset(system, dataset)
+    return dataset

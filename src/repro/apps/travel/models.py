@@ -1,0 +1,111 @@
+"""Typed records used by the travel application's middle tier.
+
+These are plain data holders translated from/to database rows; the application
+logic in :mod:`repro.apps.travel.service` works with these rather than raw
+tuples so the examples and tests read like the demo's user workflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Flight:
+    """One row of the ``Flights`` table."""
+
+    fno: int
+    origin: str
+    dest: str
+    depart_date: str
+    price: float
+    seats: int
+    airline: str
+
+    @property
+    def is_full(self) -> bool:
+        return self.seats <= 0
+
+
+@dataclass(frozen=True)
+class Hotel:
+    """One row of the ``Hotels`` table."""
+
+    hid: int
+    city: str
+    name: str
+    price: float
+    rooms: int
+    stars: int
+
+    @property
+    def is_full(self) -> bool:
+        return self.rooms <= 0
+
+
+@dataclass(frozen=True)
+class User:
+    """One row of the ``Users`` table."""
+
+    username: str
+    full_name: str
+    home_city: str
+
+
+@dataclass(frozen=True)
+class FlightBooking:
+    """A confirmed flight reservation (a tuple of the ``Reservation`` relation)."""
+
+    traveler: str
+    fno: int
+
+
+@dataclass(frozen=True)
+class HotelBooking:
+    """A confirmed hotel reservation (a tuple of the ``HotelReservation`` relation)."""
+
+    traveler: str
+    hid: int
+
+
+@dataclass(frozen=True)
+class SeatAssignment:
+    """A coordinated seat-block assignment (``SeatBlock`` answer relation)."""
+
+    traveler: str
+    fno: int
+    block: int
+
+
+@dataclass
+class TripRequest:
+    """A high-level coordination request as the web front end would pose it.
+
+    ``flight_partners`` / ``hotel_partners`` list the friends this user wants
+    to coordinate the respective reservation with; empty means "book for me
+    alone".  ``adjacent_seats`` additionally coordinates on a seat block.
+    """
+
+    user: str
+    destination: str
+    flight_partners: tuple[str, ...] = ()
+    hotel_partners: tuple[str, ...] = ()
+    book_flight: bool = True
+    book_hotel: bool = False
+    adjacent_seats: bool = False
+    max_flight_price: Optional[float] = None
+    max_hotel_price: Optional[float] = None
+    depart_date: Optional[str] = None
+    min_hotel_stars: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BookingConfirmation:
+    """What the user sees once a coordination request has been answered."""
+
+    user: str
+    flight: Optional[FlightBooking] = None
+    hotel: Optional[HotelBooking] = None
+    seat: Optional[SeatAssignment] = None
+    coordinated_with: tuple[str, ...] = ()

@@ -1,0 +1,86 @@
+"""Notification mailbox — the stand-in for the demo's Facebook messages.
+
+"Jerry is notified of the success of his request via a Facebook message."
+The mailbox subscribes to the coordination event bus and turns
+``QUERY_ANSWERED`` (and cancellation / rejection) events into per-user
+messages that the travel application's account view can display.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.events import Event, EventType
+from repro.core.system import YoutopiaSystem
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One message delivered to a user's mailbox."""
+
+    recipient: str
+    subject: str
+    body: str
+    query_id: Optional[str] = None
+    timestamp: float = field(default_factory=time.time)
+
+
+class Mailbox:
+    """Collects coordination notifications per user."""
+
+    def __init__(self, system: YoutopiaSystem) -> None:
+        self._system = system
+        self._messages: dict[str, list[Notification]] = {}
+        system.subscribe(self._on_event)
+
+    # -- event handling ----------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if event.type is EventType.QUERY_ANSWERED:
+            owner = event.payload.get("owner")
+            if not owner:
+                return
+            tuples = event.payload.get("tuples", {})
+            described = "; ".join(
+                f"{relation}: {', '.join(str(values) for values in rows)}"
+                for relation, rows in sorted(tuples.items())
+            )
+            group = event.payload.get("group", [])
+            self._deliver(
+                Notification(
+                    recipient=owner,
+                    subject="Your coordinated reservation is confirmed",
+                    body=(
+                        f"Your request {event.query_id} was answered jointly with "
+                        f"{len(group) - 1} other request(s). Reserved: {described}."
+                    ),
+                    query_id=event.query_id,
+                )
+            )
+        elif event.type is EventType.QUERY_CANCELLED:
+            owner = event.payload.get("owner")
+            if owner:
+                self._deliver(
+                    Notification(
+                        recipient=owner,
+                        subject="Your coordination request was withdrawn",
+                        body=f"Request {event.query_id} was cancelled before it could be matched.",
+                        query_id=event.query_id,
+                    )
+                )
+
+    def _deliver(self, notification: Notification) -> None:
+        self._messages.setdefault(notification.recipient, []).append(notification)
+
+    # -- reading ------------------------------------------------------------------------
+
+    def messages_for(self, user: str) -> list[Notification]:
+        return list(self._messages.get(user, []))
+
+    def unread_count(self, user: str) -> int:
+        return len(self._messages.get(user, []))
+
+    def clear(self, user: str) -> None:
+        self._messages.pop(user, None)

@@ -1,0 +1,392 @@
+"""The travel application's middle tier.
+
+This is the application logic of the demo's first application: "searching for
+flights and hotels, selecting specific flights and hotels, and to create and
+coordinate new travel reservations based on the user's list of friends"
+(Section 2.2).  High-level requests (``TripRequest``) are translated into
+entangled queries via :class:`~repro.core.compiler.EntangledQueryBuilder` and
+submitted to the Youtopia system; confirmed answers are read back from the
+``Reservation`` / ``HotelReservation`` / ``SeatBlock`` answer relations.
+
+The service also registers side-effect hooks so that every confirmed
+reservation atomically decrements the corresponding inventory (flight seats,
+hotel rooms, seat-block capacity) inside the joint-execution transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.apps.travel.models import (
+    BookingConfirmation,
+    Flight,
+    FlightBooking,
+    Hotel,
+    HotelBooking,
+    SeatAssignment,
+    TripRequest,
+)
+from repro.apps.travel.notifications import Mailbox
+from repro.apps.travel.social import FriendGraph
+from repro.core.compiler import EntangledQueryBuilder, var
+from repro.core.coordinator import CoordinationRequest, QueryStatus
+from repro.core.system import YoutopiaSystem
+from repro.errors import BookingError, UnknownUserError
+from repro.relalg.engine import QueryEngine
+
+
+def _sql_quote(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+class TravelService:
+    """Middle-tier facade for the coordinated travel web site."""
+
+    def __init__(
+        self,
+        system: YoutopiaSystem,
+        friends: Optional[FriendGraph] = None,
+        mailbox: Optional[Mailbox] = None,
+        enforce_friendship: bool = True,
+        manage_inventory: bool = True,
+    ) -> None:
+        self.system = system
+        self.friends = friends
+        self.mailbox = mailbox or Mailbox(system)
+        self.enforce_friendship = enforce_friendship and friends is not None
+        if manage_inventory:
+            self._register_inventory_hooks()
+
+    # -- inventory side effects --------------------------------------------------------------
+
+    def _register_inventory_hooks(self) -> None:
+        def decrement_seats(_relation: str, values: tuple[Any, ...], engine: QueryEngine) -> None:
+            fno = values[1]
+            engine.execute(f"UPDATE Flights SET seats = seats - 1 WHERE fno = {int(fno)}")
+
+        def decrement_rooms(_relation: str, values: tuple[Any, ...], engine: QueryEngine) -> None:
+            hid = values[1]
+            engine.execute(f"UPDATE Hotels SET rooms = rooms - 1 WHERE hid = {int(hid)}")
+
+        def decrement_block(_relation: str, values: tuple[Any, ...], engine: QueryEngine) -> None:
+            fno, block = values[1], values[2]
+            engine.execute(
+                "UPDATE Seats SET seats_free = seats_free - 1 "
+                f"WHERE fno = {int(fno)} AND block_id = {int(block)}"
+            )
+
+        self.system.register_side_effect(decrement_seats, relation="Reservation")
+        self.system.register_side_effect(decrement_rooms, relation="HotelReservation")
+        self.system.register_side_effect(decrement_block, relation="SeatBlock")
+
+    # -- search & browse ------------------------------------------------------------------------
+
+    def search_flights(
+        self,
+        dest: str,
+        depart_date: Optional[str] = None,
+        max_price: Optional[float] = None,
+    ) -> list[Flight]:
+        conditions = [f"dest = {_sql_quote(dest)}", "seats > 0"]
+        if depart_date is not None:
+            conditions.append(f"depart_date = {_sql_quote(depart_date)}")
+        if max_price is not None:
+            conditions.append(f"price <= {float(max_price)}")
+        result = self.system.query(
+            "SELECT fno, origin, dest, depart_date, price, seats, airline FROM Flights "
+            f"WHERE {' AND '.join(conditions)} ORDER BY price"
+        )
+        return [Flight(*row) for row in result.rows]
+
+    def search_hotels(
+        self,
+        city: str,
+        max_price: Optional[float] = None,
+        min_stars: Optional[int] = None,
+    ) -> list[Hotel]:
+        conditions = [f"city = {_sql_quote(city)}", "rooms > 0"]
+        if max_price is not None:
+            conditions.append(f"price <= {float(max_price)}")
+        if min_stars is not None:
+            conditions.append(f"stars >= {int(min_stars)}")
+        result = self.system.query(
+            "SELECT hid, city, name, price, rooms, stars FROM Hotels "
+            f"WHERE {' AND '.join(conditions)} ORDER BY price"
+        )
+        return [Hotel(*row) for row in result.rows]
+
+    def flight(self, fno: int) -> Flight:
+        result = self.system.query(
+            "SELECT fno, origin, dest, depart_date, price, seats, airline FROM Flights "
+            f"WHERE fno = {int(fno)}"
+        )
+        if not result.rows:
+            raise BookingError(f"no flight with number {fno}")
+        return Flight(*result.rows[0])
+
+    def friends_of(self, user: str) -> list[str]:
+        """The friend list the demo imports through the Facebook API."""
+        if self.friends is None:
+            return []
+        return self.friends.friends_of(user)
+
+    def friends_on_flight(self, user: str, fno: int) -> list[str]:
+        """Which of the user's friends already hold a booking on ``fno``."""
+        booked = {
+            traveler
+            for traveler, booked_fno in self.system.answers("Reservation")
+            if booked_fno == fno
+        }
+        return sorted(booked & set(self.friends_of(user)))
+
+    def browse_flights_with_friends(self, user: str, dest: str) -> list[tuple[Flight, list[str]]]:
+        """The alternate path of Figure 4: browse flights and see friends' bookings."""
+        return [
+            (flight, self.friends_on_flight(user, flight.fno))
+            for flight in self.search_flights(dest)
+        ]
+
+    def bookings_of(self, user: str) -> BookingConfirmation:
+        """The demo's "account view": everything currently booked for a user."""
+        flight_rows = [
+            FlightBooking(traveler, fno)
+            for traveler, fno in self.system.answers("Reservation")
+            if traveler == user
+        ]
+        hotel_rows = [
+            HotelBooking(traveler, hid)
+            for traveler, hid in self.system.answers("HotelReservation")
+            if traveler == user
+        ]
+        seat_rows = [
+            SeatAssignment(traveler, fno, block)
+            for traveler, fno, block in self.system.answers("SeatBlock")
+            if traveler == user
+        ]
+        return BookingConfirmation(
+            user=user,
+            flight=flight_rows[-1] if flight_rows else None,
+            hotel=hotel_rows[-1] if hotel_rows else None,
+            seat=seat_rows[-1] if seat_rows else None,
+        )
+
+    # -- validation -------------------------------------------------------------------------------
+
+    def _check_partners(self, user: str, partners: Iterable[str]) -> None:
+        if not self.enforce_friendship or self.friends is None:
+            return
+        if not self.friends.has_user(user):
+            raise UnknownUserError(user)
+        for partner in partners:
+            if partner == user:
+                raise BookingError("a user cannot coordinate with themselves")
+            if not self.friends.are_friends(user, partner):
+                raise BookingError(
+                    f"{user!r} and {partner!r} are not friends; coordination requests "
+                    "can only target the user's friend list"
+                )
+
+    # -- building entangled queries ---------------------------------------------------------------------
+
+    def build_trip_query(self, trip: TripRequest):
+        """Translate a :class:`TripRequest` into a compiled entangled query."""
+        if not trip.book_flight and not trip.book_hotel:
+            raise BookingError("a trip request must book a flight, a hotel, or both")
+        self._check_partners(trip.user, set(trip.flight_partners) | set(trip.hotel_partners))
+
+        builder = EntangledQueryBuilder(owner=trip.user)
+
+        if trip.book_flight:
+            flight_conditions = [f"dest = {_sql_quote(trip.destination)}", "seats > 0"]
+            if trip.max_flight_price is not None:
+                flight_conditions.append(f"price <= {float(trip.max_flight_price)}")
+            if trip.depart_date is not None:
+                flight_conditions.append(f"depart_date = {_sql_quote(trip.depart_date)}")
+            builder.head("Reservation", trip.user, var("fno"))
+            builder.domain(
+                "fno",
+                f"SELECT fno FROM Flights WHERE {' AND '.join(flight_conditions)}",
+            )
+            for partner in trip.flight_partners:
+                builder.require("Reservation", partner, var("fno"))
+
+            if trip.adjacent_seats:
+                party_size = len(trip.flight_partners) + 1
+                builder.head("SeatBlock", trip.user, var("fno"), var("block_id"))
+                builder.domain(
+                    ("fno", "block_id"),
+                    "SELECT s.fno, s.block_id FROM Seats s JOIN Flights f ON s.fno = f.fno "
+                    f"WHERE f.dest = {_sql_quote(trip.destination)} "
+                    f"AND s.seats_free >= {party_size}",
+                )
+                for partner in trip.flight_partners:
+                    builder.require("SeatBlock", partner, var("fno"), var("block_id"))
+
+        if trip.book_hotel:
+            hotel_conditions = [f"city = {_sql_quote(trip.destination)}", "rooms > 0"]
+            if trip.max_hotel_price is not None:
+                hotel_conditions.append(f"price <= {float(trip.max_hotel_price)}")
+            if trip.min_hotel_stars is not None:
+                hotel_conditions.append(f"stars >= {int(trip.min_hotel_stars)}")
+            builder.head("HotelReservation", trip.user, var("hid"))
+            builder.domain(
+                "hid",
+                f"SELECT hid FROM Hotels WHERE {' AND '.join(hotel_conditions)}",
+            )
+            for partner in trip.hotel_partners:
+                builder.require("HotelReservation", partner, var("hid"))
+
+        return builder.build()
+
+    # -- submitting requests ----------------------------------------------------------------------------
+
+    def request_trip(self, trip: TripRequest) -> CoordinationRequest:
+        """Build and submit the entangled query for a trip request."""
+        query = self.build_trip_query(trip)
+        return self.system.submit_entangled(query, owner=trip.user)
+
+    def book_flight(self, user: str, fno: int) -> CoordinationRequest:
+        """Book a specific flight directly (no coordination partners).
+
+        This is the "he can go ahead and make his own booking directly through
+        the system" path of the first demo scenario.  The request is still an
+        entangled query (so it lands in the ``Reservation`` answer relation and
+        decrements inventory atomically), it simply has no coordination
+        constraints and is therefore answered immediately.
+        """
+        flight = self.flight(fno)
+        if flight.is_full:
+            raise BookingError(f"flight {fno} is fully booked")
+        query = (
+            EntangledQueryBuilder(owner=user)
+            .head("Reservation", user, var("fno"))
+            .domain("fno", f"SELECT fno FROM Flights WHERE fno = {int(fno)} AND seats > 0")
+            .build()
+        )
+        request = self.system.submit_entangled(query, owner=user)
+        if request.status is not QueryStatus.ANSWERED:
+            raise BookingError(f"direct booking of flight {fno} unexpectedly did not complete")
+        return request
+
+    def request_flight_with_friend(
+        self,
+        user: str,
+        friend: str,
+        dest: str,
+        max_price: Optional[float] = None,
+        depart_date: Optional[str] = None,
+        adjacent_seats: bool = False,
+    ) -> CoordinationRequest:
+        """Scenario "Book a flight with a friend" (demo Section 3.1, Figures 3-4)."""
+        trip = TripRequest(
+            user=user,
+            destination=dest,
+            flight_partners=(friend,),
+            max_flight_price=max_price,
+            depart_date=depart_date,
+            adjacent_seats=adjacent_seats,
+        )
+        return self.request_trip(trip)
+
+    def request_flight_and_hotel_with_friend(
+        self,
+        user: str,
+        friend: str,
+        dest: str,
+        max_flight_price: Optional[float] = None,
+        max_hotel_price: Optional[float] = None,
+        min_hotel_stars: Optional[int] = None,
+    ) -> CoordinationRequest:
+        """Scenario "Book a flight and a hotel with a friend" (Section 3.1)."""
+        trip = TripRequest(
+            user=user,
+            destination=dest,
+            flight_partners=(friend,),
+            hotel_partners=(friend,),
+            book_hotel=True,
+            max_flight_price=max_flight_price,
+            max_hotel_price=max_hotel_price,
+            min_hotel_stars=min_hotel_stars,
+        )
+        return self.request_trip(trip)
+
+    def request_group_flight(
+        self,
+        user: str,
+        companions: Sequence[str],
+        dest: str,
+        max_price: Optional[float] = None,
+    ) -> CoordinationRequest:
+        """One member's request in the "Group flight booking" scenario."""
+        trip = TripRequest(
+            user=user,
+            destination=dest,
+            flight_partners=tuple(companions),
+            max_flight_price=max_price,
+        )
+        return self.request_trip(trip)
+
+    def submit_group_flight(
+        self, members: Sequence[str], dest: str, max_price: Optional[float] = None
+    ) -> dict[str, CoordinationRequest]:
+        """Submit the whole group's requests (each member requires all others)."""
+        if len(members) < 2:
+            raise BookingError("a group booking needs at least two members")
+        requests: dict[str, CoordinationRequest] = {}
+        for member in members:
+            companions = [other for other in members if other != member]
+            requests[member] = self.request_group_flight(member, companions, dest, max_price)
+        return requests
+
+    def submit_group_flight_hotel(
+        self, members: Sequence[str], dest: str
+    ) -> dict[str, CoordinationRequest]:
+        """The "Group flight and hotel booking" scenario."""
+        if len(members) < 2:
+            raise BookingError("a group booking needs at least two members")
+        requests: dict[str, CoordinationRequest] = {}
+        for member in members:
+            companions = tuple(other for other in members if other != member)
+            trip = TripRequest(
+                user=member,
+                destination=dest,
+                flight_partners=companions,
+                hotel_partners=companions,
+                book_hotel=True,
+            )
+            requests[member] = self.request_trip(trip)
+        return requests
+
+    # -- reading back results ---------------------------------------------------------------------------------
+
+    def confirmation_for(self, request: CoordinationRequest) -> Optional[BookingConfirmation]:
+        """Turn an answered coordination request into a booking confirmation."""
+        if request.status is not QueryStatus.ANSWERED or request.answer is None:
+            return None
+        flight: Optional[FlightBooking] = None
+        hotel: Optional[HotelBooking] = None
+        seat: Optional[SeatAssignment] = None
+        for relation, values in request.answer.all_tuples():
+            lowered = relation.lower()
+            if lowered == "reservation":
+                flight = FlightBooking(values[0], values[1])
+            elif lowered == "hotelreservation":
+                hotel = HotelBooking(values[0], values[1])
+            elif lowered == "seatblock":
+                seat = SeatAssignment(values[0], values[1], values[2])
+        partners = tuple(
+            self.system.coordinator.request(query_id).owner or query_id
+            for query_id in request.group_query_ids
+            if query_id != request.query_id
+        )
+        return BookingConfirmation(
+            user=request.owner or "",
+            flight=flight,
+            hotel=hotel,
+            seat=seat,
+            coordinated_with=partners,
+        )
+
+    def notifications_for(self, user: str):
+        """The user's "Facebook messages" about completed coordinations."""
+        return self.mailbox.messages_for(user)

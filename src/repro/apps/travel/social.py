@@ -1,0 +1,113 @@
+"""Synthetic social graph — the stand-in for the demo's Facebook integration.
+
+The demo imports the user's friend list "using the Facebook API" and sends
+success notifications "via a Facebook message".  Friend data is only used to
+pick coordination partners, so any graph over the user population exercises
+the same entangled-query code path; this module provides a deterministic
+synthetic friend graph (optionally exportable to :mod:`networkx` for
+inspection or plotting).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import UnknownUserError
+
+
+class FriendGraph:
+    """An undirected friendship graph over usernames."""
+
+    def __init__(self, users: Iterable[str] = ()) -> None:
+        self._adjacency: dict[str, set[str]] = {}
+        for user in users:
+            self.add_user(user)
+
+    # -- construction ---------------------------------------------------------------
+
+    def add_user(self, username: str) -> None:
+        self._adjacency.setdefault(username, set())
+
+    def add_friendship(self, left: str, right: str) -> None:
+        if left == right:
+            raise ValueError("a user cannot befriend themselves")
+        self.add_user(left)
+        self.add_user(right)
+        self._adjacency[left].add(right)
+        self._adjacency[right].add(left)
+
+    def remove_friendship(self, left: str, right: str) -> None:
+        self._adjacency.get(left, set()).discard(right)
+        self._adjacency.get(right, set()).discard(left)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def users(self) -> list[str]:
+        return sorted(self._adjacency)
+
+    def has_user(self, username: str) -> bool:
+        return username in self._adjacency
+
+    def friends_of(self, username: str) -> list[str]:
+        """The friend list shown by the demo's "choose a friend" screen."""
+        if username not in self._adjacency:
+            raise UnknownUserError(username)
+        return sorted(self._adjacency[username])
+
+    def are_friends(self, left: str, right: str) -> bool:
+        return right in self._adjacency.get(left, set())
+
+    def mutual_friends(self, left: str, right: str) -> list[str]:
+        return sorted(self._adjacency.get(left, set()) & self._adjacency.get(right, set()))
+
+    def friend_pairs(self) -> Iterator[tuple[str, str]]:
+        """Every friendship exactly once (lexicographically ordered pairs)."""
+        for user, friends in sorted(self._adjacency.items()):
+            for friend in sorted(friends):
+                if user < friend:
+                    yield (user, friend)
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    # -- interoperability -----------------------------------------------------------------
+
+    def to_networkx(self):  # pragma: no cover - thin convenience wrapper
+        """Export to a :class:`networkx.Graph` (networkx ships with the env)."""
+        import networkx
+
+        graph = networkx.Graph()
+        graph.add_nodes_from(self.users())
+        graph.add_edges_from(self.friend_pairs())
+        return graph
+
+
+def generate_friend_graph(
+    usernames: Sequence[str],
+    average_friends: int = 4,
+    seed: int = 0,
+) -> FriendGraph:
+    """Generate a connected random friendship graph.
+
+    A ring over the users guarantees connectivity (so any two users have a
+    friendship path, as on a real social network); additional random edges
+    bring the average degree up to ``average_friends``.
+    """
+    rng = random.Random(seed)
+    graph = FriendGraph(usernames)
+    users = list(usernames)
+    if len(users) < 2:
+        return graph
+
+    for index, user in enumerate(users):
+        graph.add_friendship(user, users[(index + 1) % len(users)])
+
+    target_edges = max(len(users), (average_friends * len(users)) // 2)
+    attempts = 0
+    while len(list(graph.friend_pairs())) < target_edges and attempts < 20 * target_edges:
+        attempts += 1
+        left, right = rng.sample(users, 2)
+        graph.add_friendship(left, right)
+    return graph

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: entangled queries and coordination.
+
+Public surface (also re-exported from the top-level :mod:`repro` package):
+
+* :class:`~repro.core.system.YoutopiaSystem` — the assembled system facade
+* :class:`~repro.core.session.YoutopiaSession` — per-user sessions
+* :class:`~repro.core.compiler.EntangledQueryBuilder`, :func:`~repro.core.compiler.var`,
+  :func:`~repro.core.compiler.compile_entangled`
+* the IR types in :mod:`repro.core.ir`
+* :class:`~repro.core.coordinator.Coordinator` / :class:`~repro.core.coordinator.QueryStatus`
+* :class:`~repro.core.matching.Matcher` and :class:`~repro.core.baseline.ExhaustiveEvaluator`
+"""
+
+from repro.core import ir
+from repro.core.answer import AnswerRelationRegistry, AnswerRelationSpec
+from repro.core.baseline import ExhaustiveEvaluator
+from repro.core.compiler import EntangledQueryBuilder, compile_entangled, entangled_to_sql, var
+from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
+from repro.core.events import Event, EventBus, EventType
+from repro.core.executor import ExecutionOutcome, JointExecutor
+from repro.core.matching import MatchedGroup, Matcher, ProviderIndex, Unifier
+from repro.core.safety import AnalysisReport, analyze, check
+from repro.core.session import YoutopiaSession
+from repro.core.stats import CoordinationStatistics
+from repro.core.system import YoutopiaSystem
+from repro.core.transactions import TransactionManager
+
+__all__ = [
+    "AnalysisReport",
+    "AnswerRelationRegistry",
+    "AnswerRelationSpec",
+    "CoordinationRequest",
+    "CoordinationStatistics",
+    "Coordinator",
+    "EntangledQueryBuilder",
+    "Event",
+    "EventBus",
+    "EventType",
+    "ExecutionOutcome",
+    "ExhaustiveEvaluator",
+    "JointExecutor",
+    "MatchedGroup",
+    "Matcher",
+    "ProviderIndex",
+    "QueryStatus",
+    "TransactionManager",
+    "Unifier",
+    "YoutopiaSession",
+    "YoutopiaSystem",
+    "analyze",
+    "check",
+    "compile_entangled",
+    "entangled_to_sql",
+    "ir",
+    "var",
+]

@@ -1,0 +1,159 @@
+"""Exhaustive baseline evaluator for entangled queries.
+
+This module implements the *declarative semantics* of entangled queries
+directly, with no cleverness: enumerate candidate subsets of the pending pool
+(containing the trigger), enumerate a valuation for every query in the subset,
+build the would-be answer relation from the instantiated heads, and check every
+constraint of every query against it.
+
+It is exponential in both the subset size and the number of candidate
+valuations and exists for two reasons:
+
+* it is the **correctness oracle** for the optimized matcher — the property
+  tests assert that on small random pools the two agree on matchability; and
+* it is the **baseline** of experiment E11, showing why the unification-based
+  matcher of the companion paper is needed at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Mapping, Optional
+
+from repro.core import ir
+from repro.core.matching import MatchStatistics, MatchedGroup, Provider
+from repro.relalg.engine import QueryEngine
+from repro.relalg.rows import RowEnv
+from repro.sqlparser.pretty import format_statement
+
+
+class ExhaustiveEvaluator:
+    """Direct implementation of the joint-answering semantics."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        rng: Optional[random.Random] = None,
+        max_group_size: int = 4,
+        max_valuations_per_query: int = 200,
+    ) -> None:
+        self.engine = engine
+        self.rng = rng or random.Random()
+        self.max_group_size = max_group_size
+        self.max_valuations_per_query = max_valuations_per_query
+
+    # -- public API --------------------------------------------------------------------
+
+    def find_group(
+        self,
+        trigger: ir.EntangledQuery,
+        pool: Mapping[str, ir.EntangledQuery],
+        index: object = None,  # accepted for interface parity with Matcher
+    ) -> Optional[MatchedGroup]:
+        """Search for an answerable subset containing ``trigger``."""
+        del index
+        statistics = MatchStatistics()
+        domain_cache: dict[str, list[tuple[Any, ...]]] = {}
+        others = [query for query in pool.values() if query.query_id != trigger.query_id]
+
+        for size in range(0, min(self.max_group_size, len(others) + 1)):
+            for combination in itertools.combinations(others, size):
+                group = [trigger, *combination]
+                statistics.structural_nodes += 1
+                result = self._try_group(group, statistics, domain_cache)
+                if result is not None:
+                    result.statistics = statistics
+                    return result
+        return None
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _try_group(
+        self,
+        group: list[ir.EntangledQuery],
+        statistics: MatchStatistics,
+        domain_cache: dict[str, list[tuple[Any, ...]]],
+    ) -> Optional[MatchedGroup]:
+        per_query_valuations: list[list[dict[str, Any]]] = []
+        for query in group:
+            valuations = self._valuations(query, statistics, domain_cache)
+            if not valuations:
+                return None
+            if len(valuations) > self.max_valuations_per_query:
+                valuations = valuations[: self.max_valuations_per_query]
+            per_query_valuations.append(valuations)
+
+        for chosen in itertools.product(*per_query_valuations):
+            statistics.grounding_attempts += 1
+            answer_relation: dict[str, set[tuple[Any, ...]]] = {}
+            for query, valuation in zip(group, chosen):
+                for atom in query.heads:
+                    answer_relation.setdefault(atom.relation.lower(), set()).add(
+                        atom.substitute(valuation)
+                    )
+            satisfied = True
+            for query, valuation in zip(group, chosen):
+                for atom in query.answer_atoms:
+                    contents = answer_relation.get(atom.relation.lower(), set())
+                    if atom.substitute(valuation) not in contents:
+                        satisfied = False
+                        break
+                if not satisfied:
+                    break
+            if satisfied:
+                bindings = {
+                    query.query_id: [dict(valuation)]
+                    for query, valuation in zip(group, chosen)
+                }
+                return MatchedGroup(
+                    queries=list(group),
+                    bindings=bindings,
+                    providers={},
+                    statistics=statistics,
+                )
+        return None
+
+    def _valuations(
+        self,
+        query: ir.EntangledQuery,
+        statistics: MatchStatistics,
+        domain_cache: dict[str, list[tuple[Any, ...]]],
+    ) -> list[dict[str, Any]]:
+        valuations: list[dict[str, Any]] = [{}]
+        for domain in query.domains:
+            key = format_statement(domain.subquery)
+            if key not in domain_cache:
+                statistics.domain_queries += 1
+                domain_cache[key] = self.engine.execute(domain.subquery).rows
+            rows = domain_cache[key]
+            extended: list[dict[str, Any]] = []
+            for partial in valuations:
+                for row in rows:
+                    candidate = dict(partial)
+                    compatible = True
+                    for name, value in zip(domain.variables, row):
+                        if name in candidate and candidate[name] != value:
+                            compatible = False
+                            break
+                        candidate[name] = value
+                    if compatible:
+                        extended.append(candidate)
+            valuations = extended
+            if not valuations:
+                return []
+
+        if query.predicates:
+            evaluator = self.engine.evaluator
+            valuations = [
+                valuation
+                for valuation in valuations
+                if all(
+                    evaluator.evaluate_predicate(
+                        predicate.expression,
+                        RowEnv({name: value for name, value in valuation.items()}),
+                    )
+                    for predicate in query.predicates
+                )
+            ]
+        return valuations

@@ -1,0 +1,400 @@
+"""The coordination component: pending-query management and joint answering.
+
+"The coordination component runs whenever an entangled query arrives in the
+system.  The coordination logic accesses regular database tables as well as
+other internal tables that store the list of pending queries" (demo paper,
+Section 2.2).
+
+The :class:`Coordinator` owns the pool of pending entangled queries, a
+provider index over their head atoms, the matcher, and the joint executor.
+When a query is submitted it is statically checked (safety / uniqueness),
+registered, and a match attempt is triggered.  A query whose constraints
+cannot yet be satisfied "is not rejected but waits for an opportunity to
+retry": it stays in the pool and is reconsidered whenever a new query arrives,
+whenever the base data changes (optional), or when :meth:`retry_pending` is
+called explicitly.
+
+The pending pool is mirrored into an internal table ``_pending_queries`` so
+the administrative interface (and plain SQL) can inspect it, exactly as the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Union
+
+from repro.core import ir
+from repro.core.answer import AnswerRelationRegistry
+from repro.core.baseline import ExhaustiveEvaluator
+from repro.core.compiler import compile_entangled
+from repro.core.events import EventBus, EventType
+from repro.core.executor import ExecutionOutcome, JointExecutor
+from repro.core.matching import MatchedGroup, Matcher, ProviderIndex
+from repro.core.safety import AnalysisReport, check
+from repro.core.stats import CoordinationStatistics
+from repro.errors import (
+    CoordinationTimeoutError,
+    EntanglementError,
+    ExecutionError,
+    QueryNotPendingError,
+)
+from repro.relalg.engine import QueryEngine
+from repro.sqlparser import ast
+from repro.storage.database import Database
+
+PENDING_TABLE = "_pending_queries"
+
+
+class QueryStatus(enum.Enum):
+    """Lifecycle states of a registered entangled query."""
+
+    PENDING = "pending"
+    ANSWERED = "answered"
+    CANCELLED = "cancelled"
+    REJECTED = "rejected"
+
+
+@dataclass
+class CoordinationRequest:
+    """The handle returned to applications for one submitted entangled query."""
+
+    query: ir.EntangledQuery
+    status: QueryStatus = QueryStatus.PENDING
+    analysis: Optional[AnalysisReport] = None
+    answer: Optional[ir.GroundAnswer] = None
+    group_query_ids: tuple[str, ...] = ()
+    error: Optional[str] = None
+    registered_at: float = field(default_factory=time.time)
+    answered_at: Optional[float] = None
+
+    @property
+    def query_id(self) -> str:
+        return self.query.query_id
+
+    @property
+    def owner(self) -> Optional[str]:
+        return self.query.owner
+
+    @property
+    def is_answered(self) -> bool:
+        return self.status is QueryStatus.ANSWERED
+
+
+class Coordinator:
+    """Registers entangled queries and answers matchable groups jointly."""
+
+    def __init__(
+        self,
+        database: Database,
+        engine: QueryEngine,
+        registry: AnswerRelationRegistry,
+        executor: JointExecutor,
+        event_bus: Optional[EventBus] = None,
+        rng: Optional[random.Random] = None,
+        max_group_size: int = 32,
+        use_exhaustive_baseline: bool = False,
+        use_constant_index: bool = True,
+        auto_retry_on_data_change: bool = False,
+    ) -> None:
+        self.database = database
+        self.engine = engine
+        self.registry = registry
+        self.executor = executor
+        self.events = event_bus or EventBus()
+        self.statistics = CoordinationStatistics()
+        self.rng = rng or random.Random()
+
+        if use_exhaustive_baseline:
+            self._matcher: Union[Matcher, ExhaustiveEvaluator] = ExhaustiveEvaluator(
+                engine, rng=self.rng, max_group_size=min(max_group_size, 5)
+            )
+        else:
+            self._matcher = Matcher(engine, rng=self.rng, max_group_size=max_group_size)
+        self._index = ProviderIndex(use_constant_index=use_constant_index)
+
+        self._pool: dict[str, ir.EntangledQuery] = {}
+        self._requests: dict[str, CoordinationRequest] = {}
+        self._lock = threading.RLock()
+        self._answered = threading.Condition(self._lock)
+        self._executing = False
+        self._data_dirty = False
+
+        self._ensure_pending_table()
+        if auto_retry_on_data_change:
+            self.database.add_listener(self._on_data_change)
+
+    # -- internal bookkeeping tables -------------------------------------------------------
+
+    def _ensure_pending_table(self) -> None:
+        self.database.create_table(
+            name=PENDING_TABLE,
+            columns=[
+                ("query_id", "TEXT", False),
+                ("owner", "TEXT"),
+                ("status", "TEXT", False),
+                ("sql", "TEXT"),
+                ("registered_at", "REAL"),
+            ],
+            primary_key=("query_id",),
+            if_not_exists=True,
+        )
+
+    def _record_pending_row(self, request: CoordinationRequest) -> None:
+        self.database.insert_mapping(
+            PENDING_TABLE,
+            {
+                "query_id": request.query_id,
+                "owner": request.owner,
+                "status": request.status.value,
+                "sql": request.query.sql or request.query.describe(),
+                "registered_at": request.registered_at,
+            },
+        )
+
+    def _update_pending_row(self, request: CoordinationRequest) -> None:
+        self.database.update_where(
+            PENDING_TABLE,
+            lambda row: row["query_id"] == request.query_id,
+            lambda row: {"status": request.status.value},
+        )
+
+    # -- data-change retries ----------------------------------------------------------------
+
+    def _on_data_change(self, table_name: str, kind: str) -> None:
+        if self._executing:
+            return
+        if table_name.lower() == PENDING_TABLE:
+            return
+        if table_name in self.registry.names():
+            return
+        if kind in ("insert", "update", "delete", "truncate"):
+            self._data_dirty = True
+
+    # -- submission ---------------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: Union[ir.EntangledQuery, ast.EntangledSelect, str],
+        owner: Optional[str] = None,
+    ) -> CoordinationRequest:
+        """Register an entangled query and immediately attempt coordination.
+
+        Returns a :class:`CoordinationRequest` handle.  If the query could be
+        coordinated right away its status is already ``ANSWERED``; otherwise it
+        remains ``PENDING`` and the caller can :meth:`wait` on it.
+        """
+        if not isinstance(query, ir.EntangledQuery):
+            query = compile_entangled(query, owner=owner)
+        elif owner is not None and query.owner is None:
+            query = ir.EntangledQuery(
+                query_id=query.query_id,
+                heads=query.heads,
+                answer_atoms=query.answer_atoms,
+                domains=query.domains,
+                predicates=query.predicates,
+                choose=query.choose,
+                owner=owner,
+                sql=query.sql,
+            )
+
+        request = CoordinationRequest(query=query)
+        try:
+            request.analysis = check(query)
+        except EntanglementError as exc:
+            request.status = QueryStatus.REJECTED
+            request.error = str(exc)
+            with self._lock:
+                self._requests[query.query_id] = request
+                self.statistics.queries_rejected += 1
+            self.events.publish(
+                EventType.QUERY_REJECTED, query_id=query.query_id, owner=owner, reason=str(exc)
+            )
+            raise
+
+        with self._lock:
+            if query.query_id in self._pool or query.query_id in self._requests:
+                raise EntanglementError(
+                    f"a query with id {query.query_id!r} is already registered"
+                )
+            for atom in list(query.heads) + list(query.answer_atoms):
+                self.registry.ensure(atom.relation, atom.arity)
+            self._pool[query.query_id] = query
+            self._index.add_query(query)
+            self._requests[query.query_id] = request
+            self.statistics.queries_registered += 1
+            self.events.publish(
+                EventType.QUERY_REGISTERED,
+                query_id=query.query_id,
+                owner=owner,
+                sql=query.sql or query.describe(),
+            )
+            self._record_pending_row(request)
+
+            if self._data_dirty:
+                self._data_dirty = False
+                self._retry_pending_locked(exclude=query.query_id)
+
+            self._attempt_match_locked(query)
+        return request
+
+    # -- matching ----------------------------------------------------------------------------------
+
+    def _attempt_match_locked(self, trigger: ir.EntangledQuery) -> Optional[ExecutionOutcome]:
+        """Try to coordinate ``trigger`` with the current pool (lock held)."""
+        if trigger.query_id not in self._pool:
+            return None
+        group = self._matcher.find_group(trigger, self._pool, self._index)
+        succeeded = group is not None
+        if group is not None:
+            self.statistics.record_match_attempt(True, group.statistics)
+        else:
+            from repro.core.matching import MatchStatistics
+
+            self.statistics.record_match_attempt(False, MatchStatistics())
+        self.events.publish(
+            EventType.MATCH_ATTEMPTED,
+            query_id=trigger.query_id,
+            succeeded=succeeded,
+            pool_size=len(self._pool),
+        )
+        if group is None:
+            return None
+        return self._execute_group_locked(group)
+
+    def _execute_group_locked(self, group: MatchedGroup) -> Optional[ExecutionOutcome]:
+        self._executing = True
+        try:
+            outcome = self.executor.execute(group)
+        except ExecutionError as exc:
+            self.statistics.executions_failed += 1
+            self.events.publish(
+                EventType.EXECUTION_FAILED,
+                query_ids=group.query_ids,
+                reason=str(exc),
+            )
+            return None
+        finally:
+            self._executing = False
+
+        self.statistics.groups_matched += 1
+        group_ids = tuple(group.query_ids)
+        self.events.publish(
+            EventType.GROUP_MATCHED,
+            query_ids=list(group_ids),
+            relations=sorted(outcome.inserted),
+        )
+        for answer in outcome.answers:
+            request = self._requests[answer.query_id]
+            request.status = QueryStatus.ANSWERED
+            request.answer = answer
+            request.group_query_ids = group_ids
+            request.answered_at = time.time()
+            self.statistics.queries_answered += 1
+            query = self._pool.pop(answer.query_id)
+            self._index.remove_query(query)
+            self._update_pending_row(request)
+            self.events.publish(
+                EventType.QUERY_ANSWERED,
+                query_id=answer.query_id,
+                owner=request.owner,
+                tuples={relation: list(values) for relation, values in answer.tuples.items()},
+                group=list(group_ids),
+            )
+        self._answered.notify_all()
+        return outcome
+
+    def retry_pending(self) -> int:
+        """Re-attempt coordination for every pending query.
+
+        Useful after base data changed (new flights inserted) without any new
+        entangled query arriving.  Returns the number of queries answered.
+        """
+        with self._lock:
+            return self._retry_pending_locked()
+
+    def _retry_pending_locked(self, exclude: Optional[str] = None) -> int:
+        answered_before = self.statistics.queries_answered
+        for query_id in list(self._pool.keys()):
+            if query_id == exclude or query_id not in self._pool:
+                continue
+            self._attempt_match_locked(self._pool[query_id])
+        return self.statistics.queries_answered - answered_before
+
+    # -- waiting / cancellation -------------------------------------------------------------------------
+
+    def wait(self, query_id: str, timeout: Optional[float] = None) -> ir.GroundAnswer:
+        """Block until ``query_id`` is answered; raise on timeout or cancellation."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                request = self._requests.get(query_id)
+                if request is None:
+                    raise QueryNotPendingError(query_id)
+                if request.status is QueryStatus.ANSWERED:
+                    assert request.answer is not None
+                    return request.answer
+                if request.status in (QueryStatus.CANCELLED, QueryStatus.REJECTED):
+                    raise EntanglementError(
+                        f"query {query_id!r} is {request.status.value}: {request.error or ''}"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.statistics.queries_timed_out += 1
+                        self.events.publish(EventType.QUERY_TIMED_OUT, query_id=query_id)
+                        raise CoordinationTimeoutError(query_id, timeout or 0.0)
+                self._answered.wait(remaining)
+
+    def cancel(self, query_id: str) -> None:
+        """Withdraw a pending query from the pool."""
+        with self._lock:
+            request = self._requests.get(query_id)
+            if request is None or query_id not in self._pool:
+                raise QueryNotPendingError(query_id)
+            query = self._pool.pop(query_id)
+            self._index.remove_query(query)
+            request.status = QueryStatus.CANCELLED
+            self.statistics.queries_cancelled += 1
+            self._update_pending_row(request)
+            self.events.publish(
+                EventType.QUERY_CANCELLED, query_id=query_id, owner=request.owner
+            )
+            self._answered.notify_all()
+
+    # -- inspection ------------------------------------------------------------------------------------------
+
+    def request(self, query_id: str) -> CoordinationRequest:
+        with self._lock:
+            request = self._requests.get(query_id)
+            if request is None:
+                raise QueryNotPendingError(query_id)
+            return request
+
+    def status(self, query_id: str) -> QueryStatus:
+        return self.request(query_id).status
+
+    def pending_queries(self) -> list[ir.EntangledQuery]:
+        with self._lock:
+            return list(self._pool.values())
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pool)
+
+    def requests(self) -> list[CoordinationRequest]:
+        with self._lock:
+            return list(self._requests.values())
+
+    def answers(self, relation: str) -> list[tuple[Any, ...]]:
+        """The current contents of an answer relation."""
+        return self.registry.tuples(relation)
+
+    def provider_index_size(self) -> int:
+        with self._lock:
+            return len(self._index)

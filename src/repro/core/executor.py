@@ -1,0 +1,92 @@
+"""Joint execution of a matched group of entangled queries.
+
+"The execution engine evaluates queries on the database as required by the
+coordination component, as well as executing any other queries and updates
+that may be necessary" (demo paper, Section 2.2).  After the matcher has found
+a group and a consistent grounding, the :class:`JointExecutor` makes the
+answers durable: inside one transaction it inserts every instantiated head
+tuple into its answer relation and runs any registered side-effect hooks
+(the travel application uses a hook to turn ``Reservation`` answer tuples into
+seat-count updates).  Failure anywhere rolls the whole group back — joint
+execution is all-or-nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core import ir
+from repro.core.answer import AnswerRelationRegistry
+from repro.core.matching import MatchedGroup
+from repro.core.transactions import TransactionManager
+from repro.errors import ExecutionError
+from repro.relalg.engine import QueryEngine
+
+# A side-effect hook receives (relation_name, tuple, engine) for every answer
+# tuple inserted and may perform additional DML through the engine.  Hooks run
+# inside the same transaction as the answer insertion.
+SideEffectHook = Callable[[str, tuple[Any, ...], QueryEngine], None]
+
+
+@dataclass
+class ExecutionOutcome:
+    """What a successful joint execution produced."""
+
+    group: MatchedGroup
+    answers: list[ir.GroundAnswer] = field(default_factory=list)
+    inserted: dict[str, list[tuple[Any, ...]]] = field(default_factory=dict)
+
+    @property
+    def query_ids(self) -> list[str]:
+        return self.group.query_ids
+
+
+class JointExecutor:
+    """Applies a matched group's answers to the database atomically."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        registry: AnswerRelationRegistry,
+        transactions: TransactionManager,
+    ) -> None:
+        self.engine = engine
+        self.registry = registry
+        self.transactions = transactions
+        self._hooks: dict[str, list[SideEffectHook]] = {}
+        self._global_hooks: list[SideEffectHook] = []
+
+    # -- hook registration ------------------------------------------------------------
+
+    def register_hook(self, hook: SideEffectHook, relation: str | None = None) -> None:
+        """Run ``hook`` for every inserted answer tuple (optionally filtered)."""
+        if relation is None:
+            self._global_hooks.append(hook)
+        else:
+            self._hooks.setdefault(relation.lower(), []).append(hook)
+
+    # -- execution -----------------------------------------------------------------------
+
+    def execute(self, group: MatchedGroup) -> ExecutionOutcome:
+        """Insert the group's answer tuples (and side effects) atomically."""
+        answers = group.answers()
+        inserted: dict[str, list[tuple[Any, ...]]] = {}
+        try:
+            with self.transactions.atomic():
+                for answer in answers:
+                    for relation, values in answer.all_tuples():
+                        spec = self.registry.ensure(relation, len(values))
+                        self.registry.insert(spec.name, values)
+                        inserted.setdefault(spec.name, []).append(tuple(values))
+                        for hook in self._hooks.get(spec.name.lower(), []):
+                            hook(spec.name, tuple(values), self.engine)
+                        for hook in self._global_hooks:
+                            hook(spec.name, tuple(values), self.engine)
+        except ExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any failure aborts the group
+            raise ExecutionError(
+                f"joint execution of group {group.query_ids} failed and was rolled back: {exc}"
+            ) from exc
+        return ExecutionOutcome(group=group, answers=answers, inserted=inserted)

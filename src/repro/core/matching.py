@@ -1,0 +1,583 @@
+"""The matching algorithm of the coordination component.
+
+Given a newly arrived (or retried) entangled query — the *trigger* — and the
+pool of pending queries, the matcher looks for a group of queries that can be
+answered jointly:
+
+1. **Structural phase.**  Every answer-constraint atom of every query in the
+   group must be *provided by* a head atom of some query in the group
+   (possibly the same query).  Providers are found through a
+   (relation, arity, constant-position) index over the pool's head atoms and
+   the pairing is checked by unification: constants must agree positionally
+   and variables across queries are merged into equivalence classes.
+
+2. **Grounding phase.**  Once a structurally consistent group is found, the
+   matcher grounds it against the database: for each query it enumerates the
+   valuations allowed by its ``x IN (SELECT ...)`` domain constraints and
+   residual predicates, and searches for a joint assignment that respects the
+   variable equivalence classes established during unification.  ``CHOOSE 1``
+   means one valuation per query.
+
+The search is backtracking over both phases, so a group that unifies but has
+no consistent grounding is abandoned and alternative providers are explored.
+The answer relation produced by a successful match contains exactly the
+instantiated head atoms of the group — the *minimality* requirement of the
+semantics — and every answer constraint is satisfied by construction because
+it was unified with one of those heads.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.core import ir
+from repro.errors import EntanglementError
+from repro.relalg.engine import QueryEngine
+from repro.relalg.rows import RowEnv
+from repro.sqlparser.pretty import format_statement
+
+# A variable is identified globally by (query_id, variable_name).
+VarNode = tuple[str, str]
+
+_UNBOUND = object()
+
+
+class Unifier:
+    """Union-find over query-scoped variables with constant binding and undo.
+
+    The structural phase needs cheap backtracking, so every mutating operation
+    appends an undo record to a trail; :meth:`mark` / :meth:`undo_to` restore
+    any earlier state.  Path compression is deliberately not used — classes are
+    tiny (a handful of variables per coordination group) and skipping it keeps
+    the trail trivially correct.
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[VarNode, VarNode] = {}
+        self._value: dict[VarNode, Any] = {}
+        self._trail: list[tuple[str, VarNode, Any]] = []
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def mark(self) -> int:
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            kind, node, previous = self._trail.pop()
+            if kind == "parent":
+                if previous is None:
+                    del self._parent[node]
+                else:
+                    self._parent[node] = previous
+            else:  # value
+                if previous is _UNBOUND:
+                    self._value.pop(node, None)
+                else:
+                    self._value[node] = previous
+
+    # -- core operations --------------------------------------------------------------
+
+    def find(self, node: VarNode) -> VarNode:
+        while node in self._parent:
+            node = self._parent[node]
+        return node
+
+    def value_of(self, node: VarNode) -> Any:
+        """The constant bound to the node's class, or ``_UNBOUND``."""
+        return self._value.get(self.find(node), _UNBOUND)
+
+    def bind(self, node: VarNode, value: Any) -> bool:
+        root = self.find(node)
+        current = self._value.get(root, _UNBOUND)
+        if current is not _UNBOUND:
+            return current == value
+        self._trail.append(("value", root, _UNBOUND))
+        self._value[root] = value
+        return True
+
+    def union(self, left: VarNode, right: VarNode) -> bool:
+        root_left = self.find(left)
+        root_right = self.find(right)
+        if root_left == root_right:
+            return True
+        value_left = self._value.get(root_left, _UNBOUND)
+        value_right = self._value.get(root_right, _UNBOUND)
+        if value_left is not _UNBOUND and value_right is not _UNBOUND and value_left != value_right:
+            return False
+        self._trail.append(("parent", root_left, None))
+        self._parent[root_left] = root_right
+        if value_left is not _UNBOUND and value_right is _UNBOUND:
+            self._trail.append(("value", root_right, _UNBOUND))
+            self._value[root_right] = value_left
+        return True
+
+    def unify_terms(
+        self, query_left: str, term_left: ir.Term, query_right: str, term_right: ir.Term
+    ) -> bool:
+        """Unify two terms belonging to (possibly different) queries."""
+        left_is_const = isinstance(term_left, ir.Constant)
+        right_is_const = isinstance(term_right, ir.Constant)
+        if left_is_const and right_is_const:
+            return term_left.value == term_right.value
+        if left_is_const:
+            return self.bind((query_right, term_right.name), term_left.value)
+        if right_is_const:
+            return self.bind((query_left, term_left.name), term_right.value)
+        return self.union((query_left, term_left.name), (query_right, term_right.name))
+
+    def unify_atoms(
+        self, query_left: str, atom_left: ir.Atom, query_right: str, atom_right: ir.Atom
+    ) -> bool:
+        if atom_left.relation.lower() != atom_right.relation.lower():
+            return False
+        if atom_left.arity != atom_right.arity:
+            return False
+        for term_left, term_right in zip(atom_left.terms, atom_right.terms):
+            if not self.unify_terms(query_left, term_left, query_right, term_right):
+                return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Provider index
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Provider:
+    """A head atom that can satisfy answer constraints: (query, head position)."""
+
+    query_id: str
+    head_index: int
+
+
+class ProviderIndex:
+    """Index over the head atoms of pending queries.
+
+    ``candidates(atom)`` returns the providers whose head could possibly unify
+    with ``atom``: same relation and arity, and for every constant position of
+    ``atom`` the provider has either the same constant or a variable there.
+    With ``use_constant_index=False`` the per-constant refinement is skipped
+    and only the (relation, arity) bucket is used — this is the "naive" mode
+    the ablation benchmark compares against.
+    """
+
+    def __init__(self, use_constant_index: bool = True) -> None:
+        self.use_constant_index = use_constant_index
+        self._by_relation: dict[tuple[str, int], set[Provider]] = defaultdict(set)
+        self._by_constant: dict[tuple[str, int, int, Any], set[Provider]] = defaultdict(set)
+        self._by_variable_position: dict[tuple[str, int, int], set[Provider]] = defaultdict(set)
+        self._atoms: dict[Provider, ir.Atom] = {}
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def add_query(self, query: ir.EntangledQuery) -> None:
+        for head_index, atom in enumerate(query.heads):
+            provider = Provider(query.query_id, head_index)
+            key = (atom.relation.lower(), atom.arity)
+            self._by_relation[key].add(provider)
+            self._atoms[provider] = atom
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, ir.Constant):
+                    self._by_constant[(*key, position, term.value)].add(provider)
+                else:
+                    self._by_variable_position[(*key, position)].add(provider)
+
+    def remove_query(self, query: ir.EntangledQuery) -> None:
+        for head_index, atom in enumerate(query.heads):
+            provider = Provider(query.query_id, head_index)
+            key = (atom.relation.lower(), atom.arity)
+            self._by_relation[key].discard(provider)
+            self._atoms.pop(provider, None)
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, ir.Constant):
+                    self._by_constant[(*key, position, term.value)].discard(provider)
+                else:
+                    self._by_variable_position[(*key, position)].discard(provider)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    # -- probing ---------------------------------------------------------------------
+
+    def atom_of(self, provider: Provider) -> ir.Atom:
+        return self._atoms[provider]
+
+    def candidates(self, atom: ir.Atom) -> set[Provider]:
+        key = (atom.relation.lower(), atom.arity)
+        bucket = self._by_relation.get(key, set())
+        if not self.use_constant_index:
+            return set(bucket)
+        result: set[Provider] | None = None
+        for position, value in atom.constants():
+            compatible = (
+                self._by_constant.get((*key, position, value), set())
+                | self._by_variable_position.get((*key, position), set())
+            )
+            result = compatible if result is None else (result & compatible)
+            if not result:
+                return set()
+        if result is None:
+            return set(bucket)
+        return result & bucket
+
+
+# ---------------------------------------------------------------------------
+# Match results and statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MatchStatistics:
+    """Counters describing the work one ``find_group`` call performed."""
+
+    structural_nodes: int = 0
+    unification_attempts: int = 0
+    grounding_attempts: int = 0
+    domain_queries: int = 0
+    candidate_providers: int = 0
+
+
+@dataclass
+class MatchedGroup:
+    """A successfully matched and grounded group of entangled queries."""
+
+    queries: list[ir.EntangledQuery]
+    bindings: dict[str, list[dict[str, Any]]]
+    providers: dict[tuple[str, int], Provider]
+    statistics: MatchStatistics = field(default_factory=MatchStatistics)
+
+    @property
+    def query_ids(self) -> list[str]:
+        return [query.query_id for query in self.queries]
+
+    def answers(self) -> list[ir.GroundAnswer]:
+        """Per-query ground answers (head tuples under the chosen valuations)."""
+        results: list[ir.GroundAnswer] = []
+        for query in self.queries:
+            tuples: dict[str, list[tuple[Any, ...]]] = defaultdict(list)
+            for valuation in self.bindings[query.query_id]:
+                for atom in query.heads:
+                    tuples[atom.relation].append(atom.substitute(valuation))
+            primary = self.bindings[query.query_id][0] if self.bindings[query.query_id] else {}
+            results.append(
+                ir.GroundAnswer(
+                    query_id=query.query_id,
+                    binding=dict(primary),
+                    tuples={relation: tuple(rows) for relation, rows in tuples.items()},
+                )
+            )
+        return results
+
+    def answer_relation_contents(self) -> dict[str, list[tuple[Any, ...]]]:
+        """The tuples the whole group contributes, per answer relation."""
+        contents: dict[str, list[tuple[Any, ...]]] = defaultdict(list)
+        for answer in self.answers():
+            for relation, values in answer.all_tuples():
+                contents[relation].append(values)
+        return dict(contents)
+
+
+# ---------------------------------------------------------------------------
+# The matcher
+# ---------------------------------------------------------------------------
+
+
+class Matcher:
+    """Implements the two-phase (unification + grounding) matching algorithm."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        rng: Optional[random.Random] = None,
+        max_group_size: int = 32,
+        max_structural_nodes: int = 200_000,
+    ) -> None:
+        self.engine = engine
+        self.rng = rng or random.Random()
+        self.max_group_size = max_group_size
+        self.max_structural_nodes = max_structural_nodes
+
+    # -- public API --------------------------------------------------------------------
+
+    def find_group(
+        self,
+        trigger: ir.EntangledQuery,
+        pool: Mapping[str, ir.EntangledQuery],
+        index: ProviderIndex,
+    ) -> Optional[MatchedGroup]:
+        """Search for a matchable group containing ``trigger``.
+
+        ``pool`` must already contain the trigger (keyed by its query id) and
+        ``index`` must cover exactly the queries in ``pool``.  Returns ``None``
+        when no group can currently be formed — the trigger then stays pending.
+        """
+        if trigger.query_id not in pool:
+            raise EntanglementError("the trigger query must be part of the pending pool")
+        statistics = MatchStatistics()
+        domain_cache: dict[str, list[tuple[Any, ...]]] = {}
+        unifier = Unifier()
+        group: dict[str, ir.EntangledQuery] = {trigger.query_id: trigger}
+        obligations = [
+            (trigger.query_id, atom_index)
+            for atom_index in range(len(trigger.answer_atoms))
+        ]
+        providers: dict[tuple[str, int], Provider] = {}
+        return self._search(
+            group, obligations, providers, unifier, pool, index, statistics, domain_cache
+        )
+
+    # -- structural phase -----------------------------------------------------------------
+
+    def _search(
+        self,
+        group: dict[str, ir.EntangledQuery],
+        obligations: list[tuple[str, int]],
+        providers: dict[tuple[str, int], Provider],
+        unifier: Unifier,
+        pool: Mapping[str, ir.EntangledQuery],
+        index: ProviderIndex,
+        statistics: MatchStatistics,
+        domain_cache: dict[str, list[tuple[Any, ...]]],
+    ) -> Optional[MatchedGroup]:
+        statistics.structural_nodes += 1
+        if statistics.structural_nodes > self.max_structural_nodes:
+            return None
+
+        if not obligations:
+            bindings = self._ground(list(group.values()), unifier, statistics, domain_cache)
+            if bindings is None:
+                return None
+            return MatchedGroup(
+                queries=list(group.values()),
+                bindings=bindings,
+                providers=dict(providers),
+                statistics=statistics,
+            )
+
+        query_id, atom_index = obligations[-1]
+        atom = group[query_id].answer_atoms[atom_index]
+        candidates = index.candidates(atom)
+        statistics.candidate_providers += len(candidates)
+
+        in_group = [candidate for candidate in candidates if candidate.query_id in group]
+        outside = [candidate for candidate in candidates if candidate.query_id not in group]
+        self.rng.shuffle(in_group)
+        self.rng.shuffle(outside)
+
+        for candidate in in_group + outside:
+            provider_query = pool.get(candidate.query_id)
+            if provider_query is None:
+                continue
+            added = False
+            if candidate.query_id not in group:
+                if len(group) >= self.max_group_size:
+                    continue
+                added = True
+
+            mark = unifier.mark()
+            statistics.unification_attempts += 1
+            head_atom = provider_query.heads[candidate.head_index]
+            if not unifier.unify_atoms(query_id, atom, candidate.query_id, head_atom):
+                unifier.undo_to(mark)
+                continue
+
+            new_group = group
+            new_obligations = obligations[:-1]
+            if added:
+                new_group = dict(group)
+                new_group[candidate.query_id] = provider_query
+                new_obligations = new_obligations + [
+                    (candidate.query_id, new_index)
+                    for new_index in range(len(provider_query.answer_atoms))
+                ]
+
+            providers[(query_id, atom_index)] = candidate
+            result = self._search(
+                new_group,
+                new_obligations,
+                providers,
+                unifier,
+                pool,
+                index,
+                statistics,
+                domain_cache,
+            )
+            if result is not None:
+                return result
+            del providers[(query_id, atom_index)]
+            unifier.undo_to(mark)
+
+        return None
+
+    # -- grounding phase -------------------------------------------------------------------
+
+    def _ground(
+        self,
+        queries: list[ir.EntangledQuery],
+        unifier: Unifier,
+        statistics: MatchStatistics,
+        domain_cache: dict[str, list[tuple[Any, ...]]],
+    ) -> Optional[dict[str, list[dict[str, Any]]]]:
+        statistics.grounding_attempts += 1
+        assignments: dict[str, list[dict[str, Any]]] = {}
+        if self._assign_query(0, queries, unifier, {}, assignments, statistics, domain_cache):
+            return assignments
+        return None
+
+    def _assign_query(
+        self,
+        position: int,
+        queries: list[ir.EntangledQuery],
+        unifier: Unifier,
+        class_values: dict[VarNode, Any],
+        assignments: dict[str, list[dict[str, Any]]],
+        statistics: MatchStatistics,
+        domain_cache: dict[str, list[tuple[Any, ...]]],
+    ) -> bool:
+        if position == len(queries):
+            return True
+        query = queries[position]
+
+        pre_bound: dict[str, Any] = {}
+        for name in query.variables():
+            node = (query.query_id, name)
+            constant = unifier.value_of(node)
+            if constant is not _UNBOUND:
+                pre_bound[name] = constant
+                continue
+            root = unifier.find(node)
+            if root in class_values:
+                pre_bound[name] = class_values[root]
+
+        valuations = self._enumerate_valuations(query, pre_bound, statistics, domain_cache)
+        self.rng.shuffle(valuations)
+
+        for valuation in valuations:
+            extended = dict(class_values)
+            consistent = True
+            for name, value in valuation.items():
+                node = (query.query_id, name)
+                constant = unifier.value_of(node)
+                if constant is not _UNBOUND and constant != value:
+                    consistent = False
+                    break
+                root = unifier.find(node)
+                if root in extended and extended[root] != value:
+                    consistent = False
+                    break
+                extended[root] = value
+            if not consistent:
+                continue
+
+            chosen = [valuation]
+            if query.choose > 1:
+                extra = self._extra_choices(query, valuation, pre_bound, statistics, domain_cache)
+                if len(extra) + 1 < query.choose:
+                    continue
+                chosen = [valuation] + extra[: query.choose - 1]
+
+            assignments[query.query_id] = chosen
+            if self._assign_query(
+                position + 1, queries, unifier, extended, assignments, statistics, domain_cache
+            ):
+                return True
+            del assignments[query.query_id]
+
+        return False
+
+    def _extra_choices(
+        self,
+        query: ir.EntangledQuery,
+        first: dict[str, Any],
+        pre_bound: dict[str, Any],
+        statistics: MatchStatistics,
+        domain_cache: dict[str, list[tuple[Any, ...]]],
+    ) -> list[dict[str, Any]]:
+        """Additional distinct valuations for ``CHOOSE k`` (k > 1) queries.
+
+        Such queries have no coordination constraints (the compiler enforces
+        this), so the extra valuations only need to respect the query's own
+        domains and predicates, plus any values fixed by unification.
+        """
+        others = [
+            valuation
+            for valuation in self._enumerate_valuations(query, pre_bound, statistics, domain_cache)
+            if valuation != first
+        ]
+        self.rng.shuffle(others)
+        # De-duplicate on the induced head tuples, not the raw valuations.
+        seen: set[tuple[tuple[Any, ...], ...]] = {
+            tuple(atom.substitute(first) for atom in query.heads)
+        }
+        distinct: list[dict[str, Any]] = []
+        for valuation in others:
+            signature = tuple(atom.substitute(valuation) for atom in query.heads)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            distinct.append(valuation)
+        return distinct
+
+    # -- valuation enumeration ------------------------------------------------------------------
+
+    def _enumerate_valuations(
+        self,
+        query: ir.EntangledQuery,
+        pre_bound: dict[str, Any],
+        statistics: MatchStatistics,
+        domain_cache: dict[str, list[tuple[Any, ...]]],
+    ) -> list[dict[str, Any]]:
+        """All valuations of ``query``'s variables allowed by its own body."""
+        valuations: list[dict[str, Any]] = [dict(pre_bound)]
+        for domain in query.domains:
+            rows = self._domain_rows(domain, statistics, domain_cache)
+            extended: list[dict[str, Any]] = []
+            for partial in valuations:
+                for row in rows:
+                    if len(row) != len(domain.variables):
+                        raise EntanglementError(
+                            f"domain constraint {domain} produced rows of width {len(row)}"
+                        )
+                    candidate = dict(partial)
+                    compatible = True
+                    for name, value in zip(domain.variables, row):
+                        if name in candidate and candidate[name] != value:
+                            compatible = False
+                            break
+                        candidate[name] = value
+                    if compatible:
+                        extended.append(candidate)
+            valuations = extended
+            if not valuations:
+                return []
+
+        if query.predicates:
+            evaluator = self.engine.evaluator
+            filtered: list[dict[str, Any]] = []
+            for valuation in valuations:
+                env = RowEnv({name.lower(): value for name, value in valuation.items()})
+                if all(
+                    evaluator.evaluate_predicate(predicate.expression, env)
+                    for predicate in query.predicates
+                ):
+                    filtered.append(valuation)
+            valuations = filtered
+
+        return valuations
+
+    def _domain_rows(
+        self,
+        domain: ir.DomainConstraint,
+        statistics: MatchStatistics,
+        domain_cache: dict[str, list[tuple[Any, ...]]],
+    ) -> list[tuple[Any, ...]]:
+        key = format_statement(domain.subquery)
+        if key not in domain_cache:
+            statistics.domain_queries += 1
+            domain_cache[key] = self.engine.execute(domain.subquery).rows
+        return domain_cache[key]

@@ -1,0 +1,159 @@
+"""Static analysis of entangled queries: safety and uniqueness (origin) checks.
+
+The companion technical paper of the demo ("Entangled queries", SIGMOD 2011)
+restricts the language to a fragment where evaluation is tractable.  Two
+conditions matter in practice and both are checked here before a query is
+admitted to the pending pool:
+
+* **Safety** (range restriction): every variable that appears in a head atom,
+  in an answer-constraint atom or in a residual predicate must be bound by a
+  domain constraint (``x IN (SELECT ...)``).  Without this, grounding a query
+  could require guessing values out of thin air.
+
+* **Uniqueness / origin**: every answer-constraint atom must be *groundable
+  from the query's own valuation* — i.e. all of its variables must also occur
+  in the query's domain constraints or head atoms.  This is what lets the
+  matcher treat an answer atom as a concrete "request" that some partner
+  query's head must fulfil, rather than an open formula; it is the practical
+  counterpart of the origin/uniqueness property the paper's polynomial
+  matching algorithm relies on.
+
+The analyzer never mutates queries; it returns an :class:`AnalysisReport` and
+raises :class:`~repro.errors.SafetyError` / :class:`~repro.errors.UniquenessError`
+from :func:`check` when asked to enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import ir
+from repro.errors import SafetyError, UniquenessError
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Outcome of statically analysing one entangled query."""
+
+    query_id: str
+    safe: bool
+    unique: bool
+    unsafe_variables: tuple[str, ...] = ()
+    non_origin_atoms: tuple[str, ...] = ()
+    warnings: tuple[str, ...] = field(default=())
+
+    @property
+    def admissible(self) -> bool:
+        """Whether the query may enter the coordination pool."""
+        return self.safe and self.unique
+
+
+def analyze(query: ir.EntangledQuery) -> AnalysisReport:
+    """Run the safety and uniqueness analysis without raising."""
+    domain_variables = set(query.domain_variables())
+
+    needed = set(query.head_variables()) | set(query.answer_variables())
+    for predicate in query.predicates:
+        needed.update(predicate.variables)
+    unsafe = tuple(sorted(needed - domain_variables))
+
+    determined = domain_variables | set(query.head_variables())
+    non_origin: list[str] = []
+    for atom in query.answer_atoms:
+        atom_variables = {variable.name for variable in atom.variables()}
+        if not atom_variables <= determined:
+            non_origin.append(str(atom))
+
+    warnings: list[str] = []
+    # Duplicate variables across multiple domain constraints are legal (they
+    # intersect the domains) but often indicate a typo; surface them.
+    seen: set[str] = set()
+    for domain in query.domains:
+        for name in domain.variables:
+            if name in seen:
+                warnings.append(
+                    f"variable {name!r} is constrained by more than one domain; "
+                    "the domains are intersected"
+                )
+            seen.add(name)
+    # Heads that are entirely constant never coordinate on data values.
+    for atom in query.heads:
+        if not atom.variables() and query.answer_atoms:
+            warnings.append(
+                f"head {atom} is fully constant; coordination only affects whether "
+                "it is answered, not which values it receives"
+            )
+
+    return AnalysisReport(
+        query_id=query.query_id,
+        safe=not unsafe,
+        unique=not non_origin,
+        unsafe_variables=unsafe,
+        non_origin_atoms=tuple(non_origin),
+        warnings=tuple(warnings),
+    )
+
+
+def check(query: ir.EntangledQuery) -> AnalysisReport:
+    """Analyse ``query`` and raise if it is not admissible."""
+    report = analyze(query)
+    if not report.safe:
+        raise SafetyError(
+            f"query {query.query_id} is unsafe: variable(s) "
+            f"{', '.join(report.unsafe_variables)} are not bound by any "
+            "'x IN (SELECT ...)' domain constraint"
+        )
+    if not report.unique:
+        raise UniquenessError(
+            f"query {query.query_id} violates the origin condition: answer "
+            f"constraint(s) {', '.join(report.non_origin_atoms)} contain variables "
+            "that are not determined by the query's own domains or heads"
+        )
+    return report
+
+
+def _atom_compatible(required: ir.Atom, provided: ir.Atom) -> bool:
+    """Could ``provided`` (a head) possibly instantiate to satisfy ``required``?
+
+    Necessary condition only: relation and arity agree, and wherever *both*
+    atoms carry constants the constants are equal.  Variable positions are
+    always compatible (grounding may still fail later).
+    """
+    if required.relation.lower() != provided.relation.lower():
+        return False
+    if required.arity != provided.arity:
+        return False
+    for left_term, right_term in zip(required.terms, provided.terms):
+        if isinstance(left_term, ir.Constant) and isinstance(right_term, ir.Constant):
+            if left_term.value != right_term.value:
+                return False
+    return True
+
+
+def mutual_match_possible(left: ir.EntangledQuery, right: ir.EntangledQuery) -> bool:
+    """Quick structural necessary condition for two queries to coordinate.
+
+    Used by the admin interface's match-graph view: an edge is drawn between
+    two pending queries when (a) every answer constraint of either query has a
+    structurally compatible provider head within the pair, and (b) at least one
+    constraint is provided *across* the pair (otherwise the queries are simply
+    independent).  Grounding against the database may of course still fail.
+    """
+    pair = (left, right)
+
+    cross_edge = False
+    for query in pair:
+        for required in query.answer_atoms:
+            providers = [
+                (provider, head)
+                for provider in pair
+                for head in provider.heads
+                if _atom_compatible(required, head)
+            ]
+            if not providers:
+                return False
+            if any(provider is not query for provider, _head in providers):
+                cross_edge = True
+    if not (left.answer_atoms or right.answer_atoms):
+        return False
+    return cross_edge

@@ -1,0 +1,89 @@
+"""Per-user sessions.
+
+The demo's travel web site is a three-tier application: the browser talks to
+the middle tier, which submits queries to Youtopia on behalf of a logged-in
+user.  :class:`YoutopiaSession` is that per-user unit of interaction — it tags
+submitted entangled queries with the user's name (the *owner*), remembers
+which requests the user has outstanding, and offers convenience accessors for
+"my pending requests" / "my answers" that the account view of the demo shows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.core import ir
+from repro.core.compiler import EntangledQueryBuilder
+from repro.core.coordinator import CoordinationRequest, QueryStatus
+from repro.relalg.engine import QueryResult
+from repro.sqlparser import ast
+
+
+class YoutopiaSession:
+    """A user-scoped view on a :class:`~repro.core.system.YoutopiaSystem`."""
+
+    def __init__(self, system: "YoutopiaSystem", user: str) -> None:  # noqa: F821
+        self.system = system
+        self.user = user
+        self._submitted: list[str] = []
+
+    # -- plain SQL -------------------------------------------------------------------------
+
+    def query(self, sql: str) -> QueryResult:
+        """Run a plain SELECT (reads are not user-scoped)."""
+        return self.system.query(sql)
+
+    def execute(self, sql: str) -> Union[QueryResult, CoordinationRequest]:
+        """Execute any statement on behalf of this user."""
+        result = self.system.execute(sql, owner=self.user)
+        if isinstance(result, CoordinationRequest):
+            self._submitted.append(result.query_id)
+        return result
+
+    # -- entangled queries -------------------------------------------------------------------
+
+    def submit(
+        self, query: Union[str, ast.EntangledSelect, ir.EntangledQuery]
+    ) -> CoordinationRequest:
+        """Submit an entangled query owned by this user."""
+        request = self.system.submit_entangled(query, owner=self.user)
+        self._submitted.append(request.query_id)
+        return request
+
+    def builder(self) -> EntangledQueryBuilder:
+        """A query builder pre-bound to this user as owner."""
+        return EntangledQueryBuilder(owner=self.user)
+
+    def wait(self, query_id: str, timeout: Optional[float] = None) -> ir.GroundAnswer:
+        return self.system.wait(query_id, timeout=timeout)
+
+    def cancel(self, query_id: str) -> None:
+        self.system.cancel(query_id)
+
+    # -- the "account view" ----------------------------------------------------------------------
+
+    def my_requests(self) -> list[CoordinationRequest]:
+        """Every coordination request this session has submitted."""
+        return [self.system.coordinator.request(query_id) for query_id in self._submitted]
+
+    def my_pending(self) -> list[CoordinationRequest]:
+        return [r for r in self.my_requests() if r.status is QueryStatus.PENDING]
+
+    def my_answers(self) -> list[ir.GroundAnswer]:
+        return [
+            r.answer
+            for r in self.my_requests()
+            if r.status is QueryStatus.ANSWERED and r.answer is not None
+        ]
+
+    def my_answer_tuples(self, relation: str) -> list[tuple[Any, ...]]:
+        """This user's tuples in a given answer relation."""
+        tuples: list[tuple[Any, ...]] = []
+        for answer in self.my_answers():
+            for relation_name, values in answer.all_tuples():
+                if relation_name.lower() == relation.lower():
+                    tuples.append(values)
+        return tuples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"YoutopiaSession(user={self.user!r}, submitted={len(self._submitted)})"

@@ -1,0 +1,61 @@
+"""Aggregate statistics of the coordination component.
+
+The administrative interface of the demo "allows us to show the internal state
+of the system"; these counters are part of that state and are also what the
+scalability benchmarks report.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.matching import MatchStatistics
+
+
+@dataclass
+class CoordinationStatistics:
+    """Monotonic counters maintained by the coordinator."""
+
+    queries_registered: int = 0
+    queries_rejected: int = 0
+    queries_answered: int = 0
+    queries_cancelled: int = 0
+    queries_timed_out: int = 0
+    groups_matched: int = 0
+    match_attempts: int = 0
+    failed_match_attempts: int = 0
+    executions_failed: int = 0
+    structural_nodes: int = 0
+    unification_attempts: int = 0
+    grounding_attempts: int = 0
+    domain_queries: int = 0
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False, compare=False)
+
+    def record_match_attempt(self, succeeded: bool, match_stats: MatchStatistics) -> None:
+        with self._lock:
+            self.match_attempts += 1
+            if not succeeded:
+                self.failed_match_attempts += 1
+            self.structural_nodes += match_stats.structural_nodes
+            self.unification_attempts += match_stats.unification_attempts
+            self.grounding_attempts += match_stats.grounding_attempts
+            self.domain_queries += match_stats.domain_queries
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain dictionary view (for the admin interface and benchmarks)."""
+        return {
+            "queries_registered": self.queries_registered,
+            "queries_rejected": self.queries_rejected,
+            "queries_answered": self.queries_answered,
+            "queries_cancelled": self.queries_cancelled,
+            "queries_timed_out": self.queries_timed_out,
+            "groups_matched": self.groups_matched,
+            "match_attempts": self.match_attempts,
+            "failed_match_attempts": self.failed_match_attempts,
+            "executions_failed": self.executions_failed,
+            "structural_nodes": self.structural_nodes,
+            "unification_attempts": self.unification_attempts,
+            "grounding_attempts": self.grounding_attempts,
+            "domain_queries": self.domain_queries,
+        }

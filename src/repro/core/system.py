@@ -1,0 +1,181 @@
+"""The Youtopia system facade.
+
+This assembles the architecture of Figure 2 of the demo paper into one object:
+
+* the **database** (storage catalog) with its regular tables,
+* the **execution engine** (relational query engine) for plain SQL,
+* the **query compiler** for entangled SQL,
+* the **coordination component** (pending pool + matcher + joint executor),
+* answer relations, transactions, events and statistics.
+
+Applications — the travel web site's middle tier, the SQL command line and the
+admin interface — talk to this facade (usually through a per-user
+:class:`~repro.core.session.YoutopiaSession`).
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from repro.core import ir
+from repro.core.answer import AnswerRelationRegistry
+from repro.core.compiler import compile_entangled
+from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
+from repro.core.events import EventBus, EventType
+from repro.core.executor import JointExecutor, SideEffectHook
+from repro.core.transactions import TransactionManager
+from repro.errors import PlanError
+from repro.relalg.engine import QueryEngine, QueryResult
+from repro.sqlparser import ast, parse_script, parse_statement
+from repro.storage.database import Database
+from repro.storage.sqlite_backend import SQLiteMirror
+
+
+class YoutopiaSystem:
+    """A complete in-process Youtopia instance."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        seed: Optional[int] = None,
+        max_group_size: int = 32,
+        use_exhaustive_baseline: bool = False,
+        use_constant_index: bool = True,
+        enable_index_lookup: bool = True,
+        auto_retry_on_data_change: bool = False,
+        persist_to: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.database = database or Database()
+        self.engine = QueryEngine(self.database, enable_index_lookup=enable_index_lookup)
+        self.transactions = TransactionManager(self.database)
+        self.answer_relations = AnswerRelationRegistry(self.database)
+        self.events = EventBus()
+        self.rng = random.Random(seed)
+        self.executor = JointExecutor(self.engine, self.answer_relations, self.transactions)
+        self.coordinator = Coordinator(
+            database=self.database,
+            engine=self.engine,
+            registry=self.answer_relations,
+            executor=self.executor,
+            event_bus=self.events,
+            rng=self.rng,
+            max_group_size=max_group_size,
+            use_exhaustive_baseline=use_exhaustive_baseline,
+            use_constant_index=use_constant_index,
+            auto_retry_on_data_change=auto_retry_on_data_change,
+        )
+        self._mirror: Optional[SQLiteMirror] = None
+        if persist_to is not None:
+            self._mirror = SQLiteMirror(self.database, persist_to)
+            self._mirror.attach()
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._mirror is not None:
+            self._mirror.close()
+            self._mirror = None
+
+    def __enter__(self) -> "YoutopiaSystem":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # -- statement routing -------------------------------------------------------------------
+
+    def execute(
+        self, sql: Union[str, ast.Statement], owner: Optional[str] = None
+    ) -> Union[QueryResult, CoordinationRequest]:
+        """Execute one statement, routing it to the right component.
+
+        Plain SQL (DDL, DML, SELECT) goes to the execution engine and returns a
+        :class:`~repro.relalg.engine.QueryResult`.  Entangled queries go to the
+        coordination component and return a
+        :class:`~repro.core.coordinator.CoordinationRequest`.
+        """
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, ast.EntangledSelect):
+            return self.coordinator.submit(statement, owner=owner)
+        return self.engine.execute(statement)
+
+    def execute_script(
+        self, sql: str, owner: Optional[str] = None
+    ) -> list[Union[QueryResult, CoordinationRequest]]:
+        """Execute a ``;``-separated script through :meth:`execute`."""
+        return [self.execute(statement, owner=owner) for statement in parse_script(sql)]
+
+    def query(self, sql: str) -> QueryResult:
+        """Run a plain SELECT and return its result."""
+        result = self.execute(sql)
+        if not isinstance(result, QueryResult):
+            raise PlanError("expected a plain SELECT, got an entangled query")
+        return result
+
+    # -- entangled queries ---------------------------------------------------------------------
+
+    def submit_entangled(
+        self,
+        query: Union[str, ast.EntangledSelect, ir.EntangledQuery],
+        owner: Optional[str] = None,
+    ) -> CoordinationRequest:
+        """Submit an entangled query (SQL text, AST or compiled IR)."""
+        return self.coordinator.submit(query, owner=owner)
+
+    def compile(self, sql: str, owner: Optional[str] = None) -> ir.EntangledQuery:
+        """Compile entangled SQL to the IR without registering it."""
+        return compile_entangled(sql, owner=owner)
+
+    def wait(self, query_id: str, timeout: Optional[float] = None) -> ir.GroundAnswer:
+        return self.coordinator.wait(query_id, timeout=timeout)
+
+    def cancel(self, query_id: str) -> None:
+        self.coordinator.cancel(query_id)
+
+    def status(self, query_id: str) -> QueryStatus:
+        return self.coordinator.status(query_id)
+
+    def retry_pending(self) -> int:
+        return self.coordinator.retry_pending()
+
+    # -- answer relations -------------------------------------------------------------------------
+
+    def declare_answer_relation(
+        self,
+        name: str,
+        columns: Optional[Sequence[str]] = None,
+        types: Optional[Sequence[str]] = None,
+        arity: Optional[int] = None,
+    ) -> None:
+        self.answer_relations.declare(name, columns=columns, types=types, arity=arity)
+
+    def answers(self, relation: str) -> list[tuple[Any, ...]]:
+        return self.answer_relations.tuples(relation)
+
+    def register_side_effect(self, hook: SideEffectHook, relation: str | None = None) -> None:
+        """Register a side-effect hook run during joint execution."""
+        self.executor.register_hook(hook, relation)
+
+    # -- sessions -------------------------------------------------------------------------------------
+
+    def session(self, user: str) -> "YoutopiaSession":
+        """Open a per-user session (the unit the demo's web tier works with)."""
+        from repro.core.session import YoutopiaSession
+
+        return YoutopiaSession(self, user)
+
+    # -- introspection (used by the admin interface) ---------------------------------------------------
+
+    def pending_queries(self) -> list[ir.EntangledQuery]:
+        return self.coordinator.pending_queries()
+
+    def statistics(self) -> dict[str, int]:
+        merged = dict(self.coordinator.statistics.as_dict())
+        merged["transactions_committed"] = self.transactions.commits
+        merged["transactions_rolled_back"] = self.transactions.rollbacks
+        return merged
+
+    def subscribe(self, subscriber, event_type: Optional[EventType] = None) -> None:
+        self.events.subscribe(subscriber, event_type)

@@ -1,0 +1,21 @@
+"""Relational query engine (the Youtopia "execution engine").
+
+Public surface:
+
+* :class:`~repro.relalg.engine.QueryEngine` and :class:`~repro.relalg.engine.QueryResult`
+* :func:`~repro.relalg.engine.run_script`
+* the plan operators in :mod:`repro.relalg.plan` and the optimizer in
+  :mod:`repro.relalg.optimizer` (useful for the admin interface's EXPLAIN mode)
+"""
+
+from repro.relalg.engine import QueryEngine, QueryResult, run_script
+from repro.relalg.expressions import ExpressionEvaluator
+from repro.relalg.rows import RowEnv
+
+__all__ = [
+    "ExpressionEvaluator",
+    "QueryEngine",
+    "QueryResult",
+    "RowEnv",
+    "run_script",
+]

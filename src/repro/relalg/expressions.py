@@ -1,0 +1,244 @@
+"""Expression evaluation for the relational engine.
+
+Expressions are evaluated against a :class:`~repro.relalg.rows.RowEnv`.
+Subqueries (``IN (SELECT ...)``) are delegated back to the query engine via a
+callback so correlated subqueries see the current row as their outer scope.
+SQL three-valued logic is approximated the way most teaching engines do it:
+comparisons involving NULL yield NULL (represented as ``None``), and WHERE
+treats NULL as false.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional
+
+from repro.errors import EvaluationError
+from repro.relalg.rows import RowEnv
+from repro.sqlparser import ast
+
+# Callback used to evaluate an ``IN (SELECT ...)`` subquery: receives the
+# subquery AST and the current row environment, returns the list of result
+# rows (each a tuple of values).
+SubqueryCallback = Callable[[ast.Select, Optional[RowEnv]], list[tuple[Any, ...]]]
+
+_SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "ABS": abs,
+    "LOWER": lambda s: s.lower() if isinstance(s, str) else s,
+    "UPPER": lambda s: s.upper() if isinstance(s, str) else s,
+    "LENGTH": lambda s: len(s) if s is not None else None,
+    "ROUND": lambda value, digits=0: round(value, int(digits)) if value is not None else None,
+    "COALESCE": lambda *values: next((v for v in values if v is not None), None),
+    "MIN2": min,
+    "MAX2": max,
+}
+
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+def like_to_regex(pattern: str) -> re.Pattern[str]:
+    """Translate a SQL LIKE pattern (%, _) into an anchored regex."""
+    regex_parts = []
+    for char in pattern:
+        if char == "%":
+            regex_parts.append(".*")
+        elif char == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(char))
+    return re.compile("^" + "".join(regex_parts) + "$", re.DOTALL)
+
+
+class ExpressionEvaluator:
+    """Evaluates expression AST nodes against row environments."""
+
+    def __init__(self, subquery_callback: SubqueryCallback | None = None) -> None:
+        self._subquery_callback = subquery_callback
+
+    # -- public API --------------------------------------------------------------
+
+    def evaluate(self, expression: ast.Expression, env: RowEnv | None = None) -> Any:
+        env = env or RowEnv({})
+        return self._evaluate(expression, env)
+
+    def evaluate_predicate(self, expression: ast.Expression, env: RowEnv | None = None) -> bool:
+        """Evaluate a WHERE/HAVING condition; NULL counts as false."""
+        value = self.evaluate(expression, env)
+        return bool(value) if value is not None else False
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _evaluate(self, expression: ast.Expression, env: RowEnv) -> Any:
+        if isinstance(expression, ast.Literal):
+            return expression.value
+        if isinstance(expression, ast.ColumnRef):
+            return env.resolve(expression.name, expression.table)
+        if isinstance(expression, ast.Star):
+            raise EvaluationError("'*' is only valid inside COUNT(*) or a SELECT list")
+        if isinstance(expression, ast.UnaryOp):
+            return self._evaluate_unary(expression, env)
+        if isinstance(expression, ast.BinaryOp):
+            return self._evaluate_binary(expression, env)
+        if isinstance(expression, ast.FunctionCall):
+            return self._evaluate_function(expression, env)
+        if isinstance(expression, ast.TupleExpr):
+            return tuple(self._evaluate(item, env) for item in expression.items)
+        if isinstance(expression, ast.IsNull):
+            value = self._evaluate(expression.operand, env)
+            result = value is None
+            return not result if expression.negated else result
+        if isinstance(expression, ast.Between):
+            return self._evaluate_between(expression, env)
+        if isinstance(expression, ast.Like):
+            return self._evaluate_like(expression, env)
+        if isinstance(expression, ast.InList):
+            return self._evaluate_in_list(expression, env)
+        if isinstance(expression, ast.InSubquery):
+            return self._evaluate_in_subquery(expression, env)
+        if isinstance(expression, ast.AnswerMembership):
+            raise EvaluationError(
+                "answer-membership constraints can only appear in entangled queries"
+            )
+        raise EvaluationError(f"cannot evaluate expression node: {expression!r}")
+
+    # -- node evaluators ------------------------------------------------------------
+
+    def _evaluate_unary(self, expression: ast.UnaryOp, env: RowEnv) -> Any:
+        value = self._evaluate(expression.operand, env)
+        if expression.operator == "NOT":
+            if value is None:
+                return None
+            return not bool(value)
+        if expression.operator == "-":
+            if value is None:
+                return None
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise EvaluationError(f"cannot negate non-numeric value {value!r}")
+            return -value
+        raise EvaluationError(f"unknown unary operator {expression.operator!r}")
+
+    def _evaluate_binary(self, expression: ast.BinaryOp, env: RowEnv) -> Any:
+        operator = expression.operator
+
+        if operator in ("AND", "OR"):
+            left = self._evaluate(expression.left, env)
+            # Short-circuit where the result is already determined.
+            if operator == "AND" and left is not None and not left:
+                return False
+            if operator == "OR" and left is not None and left:
+                return True
+            right = self._evaluate(expression.right, env)
+            if operator == "AND":
+                if left is None or right is None:
+                    return False if (left is not None and not left) or (right is not None and not right) else None
+                return bool(left) and bool(right)
+            if left is None or right is None:
+                return True if (left is not None and left) or (right is not None and right) else None
+            return bool(left) or bool(right)
+
+        left = self._evaluate(expression.left, env)
+        right = self._evaluate(expression.right, env)
+
+        if operator in ("=", "!=", "<", "<=", ">", ">="):
+            if left is None or right is None:
+                return None
+            try:
+                if operator == "=":
+                    return left == right
+                if operator == "!=":
+                    return left != right
+                if operator == "<":
+                    return left < right
+                if operator == "<=":
+                    return left <= right
+                if operator == ">":
+                    return left > right
+                return left >= right
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"cannot compare {left!r} and {right!r} with {operator!r}"
+                ) from exc
+
+        if operator == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+
+        if operator in ("+", "-", "*", "/", "%"):
+            if left is None or right is None:
+                return None
+            if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+                raise EvaluationError(
+                    f"arithmetic on non-numeric values: {left!r} {operator} {right!r}"
+                )
+            if operator == "+":
+                return left + right
+            if operator == "-":
+                return left - right
+            if operator == "*":
+                return left * right
+            if operator == "/":
+                if right == 0:
+                    raise EvaluationError("division by zero")
+                result = left / right
+                return result
+            if right == 0:
+                raise EvaluationError("modulo by zero")
+            return left % right
+
+        raise EvaluationError(f"unknown binary operator {operator!r}")
+
+    def _evaluate_function(self, expression: ast.FunctionCall, env: RowEnv) -> Any:
+        name = expression.name.upper()
+        if name in AGGREGATE_FUNCTIONS:
+            raise EvaluationError(
+                f"aggregate function {name} outside of an aggregation context"
+            )
+        if name not in _SCALAR_FUNCTIONS:
+            raise EvaluationError(f"unknown function {name!r}")
+        arguments = [self._evaluate(argument, env) for argument in expression.arguments]
+        return _SCALAR_FUNCTIONS[name](*arguments)
+
+    def _evaluate_between(self, expression: ast.Between, env: RowEnv) -> Any:
+        value = self._evaluate(expression.operand, env)
+        low = self._evaluate(expression.low, env)
+        high = self._evaluate(expression.high, env)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return not result if expression.negated else result
+
+    def _evaluate_like(self, expression: ast.Like, env: RowEnv) -> Any:
+        value = self._evaluate(expression.operand, env)
+        pattern = self._evaluate(expression.pattern, env)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise EvaluationError("LIKE expects string operands")
+        result = bool(like_to_regex(pattern).match(value))
+        return not result if expression.negated else result
+
+    def _evaluate_in_list(self, expression: ast.InList, env: RowEnv) -> Any:
+        value = self._evaluate(expression.operand, env)
+        if value is None:
+            return None
+        items = [self._evaluate(item, env) for item in expression.items]
+        result = value in [item for item in items if item is not None]
+        if not result and any(item is None for item in items):
+            return None
+        return not result if expression.negated else result
+
+    def _evaluate_in_subquery(self, expression: ast.InSubquery, env: RowEnv) -> Any:
+        if self._subquery_callback is None:
+            raise EvaluationError("subqueries are not supported in this context")
+        rows = self._subquery_callback(expression.subquery, env)
+        operand = self._evaluate(expression.operand, env)
+        if isinstance(expression.operand, ast.TupleExpr):
+            needle = tuple(operand)
+        else:
+            needle = (operand,)
+        if any(component is None for component in needle):
+            return None
+        haystack = {tuple(row) for row in rows}
+        result = needle in haystack
+        return not result if expression.negated else result

@@ -1,0 +1,427 @@
+"""Logical plan operators and their (pull-based) execution.
+
+Plans are small trees of dataclass nodes.  Execution is iterator-style: each
+node's :meth:`rows` method yields binding-qualified row dictionaries (see
+:mod:`repro.relalg.rows`), except :class:`ProjectNode` / :class:`AggregateNode`
+which yield output rows keyed by the final output column names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.errors import EvaluationError, PlanError
+from repro.relalg.expressions import AGGREGATE_FUNCTIONS, ExpressionEvaluator
+from repro.relalg.rows import RowEnv, bind_row, merge_rows
+from repro.sqlparser import ast
+from repro.storage.database import Database
+
+
+@dataclass
+class PlanContext:
+    """Everything a plan needs at execution time."""
+
+    database: Database
+    evaluator: ExpressionEvaluator
+    outer_env: Optional[RowEnv] = None
+
+    def env(self, values: dict[str, Any]) -> RowEnv:
+        if self.outer_env is not None:
+            return self.outer_env.child(values)
+        return RowEnv(values)
+
+
+class PlanNode:
+    """Base class of all plan operators."""
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self) -> str:
+        """One-line description used by EXPLAIN-style output in the admin UI."""
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Full scan of a base table under a binding name."""
+
+    table_name: str
+    binding: str
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        table = context.database.table(self.table_name)
+        for row in table.scan():
+            yield bind_row(self.binding, row)
+
+    def describe(self) -> str:
+        return f"Scan {self.table_name} AS {self.binding}"
+
+
+@dataclass
+class IndexLookupNode(PlanNode):
+    """Equality lookup against a base table, using an index when available."""
+
+    table_name: str
+    binding: str
+    column_values: dict[str, ast.Expression]
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        table = context.database.table(self.table_name)
+        probe = {
+            column: context.evaluator.evaluate(value_expr, context.env({}))
+            for column, value_expr in self.column_values.items()
+        }
+        for row in table.lookup_equal(probe):
+            yield bind_row(self.binding, row)
+
+    def describe(self) -> str:
+        columns = ", ".join(sorted(self.column_values))
+        return f"IndexLookup {self.table_name} AS {self.binding} ON ({columns})"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    child: PlanNode
+    predicate: ast.Expression
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        for row in self.child.rows(context):
+            if context.evaluator.evaluate_predicate(self.predicate, context.env(row)):
+                yield row
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sqlparser.pretty import format_expression
+
+        return f"Filter {format_expression(self.predicate)}"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Nested-loop join; ``kind`` is 'inner', 'left' or 'cross'."""
+
+    left: PlanNode
+    right: PlanNode
+    condition: Optional[ast.Expression]
+    kind: str = "inner"
+    right_columns: tuple[str, ...] = field(default=())
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        right_rows = list(self.right.rows(context))
+        for left_row in self.left.rows(context):
+            matched = False
+            for right_row in right_rows:
+                combined = merge_rows(left_row, right_row)
+                if self.condition is None or context.evaluator.evaluate_predicate(
+                    self.condition, context.env(combined)
+                ):
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "left":
+                nulls = {column: None for column in self.right_columns}
+                yield merge_rows(left_row, nulls)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"Join ({self.kind})"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Evaluate the SELECT list for each input row.
+
+    With ``passthrough`` enabled the input row's (binding-qualified) columns
+    are kept alongside the computed outputs; the planner uses this so that a
+    later ORDER BY may reference columns that are not part of the SELECT list,
+    as SQL allows.  The engine only ever reads the declared output columns, so
+    the extra keys never leak into results.
+    """
+
+    child: PlanNode
+    output_names: tuple[str, ...]
+    expressions: tuple[ast.Expression, ...]
+    passthrough: bool = False
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        for row in self.child.rows(context):
+            env = context.env(row)
+            output: dict[str, Any] = dict(row) if self.passthrough else {}
+            for name, expression in zip(self.output_names, self.expressions):
+                if isinstance(expression, ast.Star):
+                    output.update(_expand_star(expression, row))
+                else:
+                    output[name.lower()] = context.evaluator.evaluate(expression, env)
+            yield output
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Project " + ", ".join(self.output_names)
+
+
+def _expand_star(star: ast.Star, row: dict[str, Any]) -> dict[str, Any]:
+    """Expand ``*`` / ``t.*`` against a binding-qualified row."""
+    expanded: dict[str, Any] = {}
+    wanted_prefix = f"{star.table.lower()}." if star.table else None
+    for key, value in row.items():
+        if "." not in key:
+            if wanted_prefix is None:
+                expanded[key] = value
+            continue
+        prefix, column = key.split(".", 1)
+        if wanted_prefix is None or key.startswith(wanted_prefix):
+            # Bare column name wins unless it collides; collisions keep the
+            # qualified name so no data is silently dropped.
+            if column in expanded:
+                expanded[key] = value
+            else:
+                expanded[column] = value
+    return expanded
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """GROUP BY + aggregate evaluation (also handles global aggregates)."""
+
+    child: PlanNode
+    group_by: tuple[ast.Expression, ...]
+    output_names: tuple[str, ...]
+    expressions: tuple[ast.Expression, ...]
+    having: Optional[ast.Expression] = None
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        groups: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+        order: list[tuple[Any, ...]] = []
+        for row in self.child.rows(context):
+            env = context.env(row)
+            key = tuple(
+                context.evaluator.evaluate(expression, env) for expression in self.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+
+        if not groups and not self.group_by:
+            # Global aggregate over an empty input still yields one row
+            # (COUNT(*) = 0, SUM = NULL, ...).
+            groups[()] = []
+            order.append(())
+
+        for key in order:
+            group_rows = groups[key]
+            representative = group_rows[0] if group_rows else {}
+            if self.having is not None:
+                having_value = _evaluate_with_aggregates(
+                    self.having, group_rows, representative, context
+                )
+                if not having_value:
+                    continue
+            output: dict[str, Any] = {}
+            for name, expression in zip(self.output_names, self.expressions):
+                output[name.lower()] = _evaluate_with_aggregates(
+                    expression, group_rows, representative, context
+                )
+            yield output
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Aggregate groups={len(self.group_by)}"
+
+
+def _evaluate_with_aggregates(
+    expression: ast.Expression,
+    group_rows: list[dict[str, Any]],
+    representative: dict[str, Any],
+    context: PlanContext,
+) -> Any:
+    """Evaluate an expression that may contain aggregate function calls."""
+    if isinstance(expression, ast.FunctionCall) and expression.name.upper() in AGGREGATE_FUNCTIONS:
+        return _evaluate_aggregate(expression, group_rows, context)
+    if isinstance(expression, ast.BinaryOp):
+        left = _evaluate_with_aggregates(expression.left, group_rows, representative, context)
+        right = _evaluate_with_aggregates(expression.right, group_rows, representative, context)
+        return context.evaluator.evaluate(
+            ast.BinaryOp(expression.operator, ast.Literal(left), ast.Literal(right)),
+            context.env({}),
+        )
+    if isinstance(expression, ast.UnaryOp):
+        operand = _evaluate_with_aggregates(expression.operand, group_rows, representative, context)
+        return context.evaluator.evaluate(
+            ast.UnaryOp(expression.operator, ast.Literal(operand)), context.env({})
+        )
+    return context.evaluator.evaluate(expression, context.env(representative))
+
+
+def _evaluate_aggregate(
+    call: ast.FunctionCall, group_rows: list[dict[str, Any]], context: PlanContext
+) -> Any:
+    name = call.name.upper()
+    if name == "COUNT" and (not call.arguments or isinstance(call.arguments[0], ast.Star)):
+        return len(group_rows)
+    if not call.arguments:
+        raise EvaluationError(f"aggregate {name} requires an argument")
+    argument = call.arguments[0]
+    values = []
+    for row in group_rows:
+        value = context.evaluator.evaluate(argument, context.env(row))
+        if value is not None:
+            values.append(value)
+    if call.distinct:
+        seen: list[Any] = []
+        for value in values:
+            if value not in seen:
+                seen.append(value)
+        values = seen
+    if name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(values)
+    if name == "AVG":
+        return sum(values) / len(values)
+    if name == "MIN":
+        return min(values)
+    if name == "MAX":
+        return max(values)
+    raise EvaluationError(f"unknown aggregate {name!r}")
+
+
+@dataclass
+class SortNode(PlanNode):
+    child: PlanNode
+    order_by: tuple[ast.OrderItem, ...]
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        materialized = list(self.child.rows(context))
+
+        def sort_key(row: dict[str, Any]):
+            key = []
+            for item in self.order_by:
+                value = context.evaluator.evaluate(item.expression, context.env(row))
+                # None is treated as the smallest value: it sorts first in
+                # ascending order and last in descending order.  The leading
+                # flag keeps None from ever being compared against a value.
+                is_null = value is None
+                if item.descending:
+                    key.append((1 if is_null else 0, _Reversed(value)))
+                else:
+                    key.append((0 if is_null else 1, _Forward(value)))
+            return tuple(key)
+
+        materialized.sort(key=sort_key)
+        yield from materialized
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Sort keys={len(self.order_by)}"
+
+
+class _Forward:
+    """Comparable wrapper that tolerates None (treated as the minimum)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Forward") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Forward) and self.value == other.value
+
+
+class _Reversed(_Forward):
+    """Comparable wrapper with reversed ordering for DESC sort keys."""
+
+    def __lt__(self, other: "_Forward") -> bool:  # type: ignore[override]
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return self.value > other.value
+
+
+@dataclass
+class LimitNode(PlanNode):
+    child: PlanNode
+    limit: Optional[int]
+    offset: int = 0
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        produced = 0
+        skipped = 0
+        for row in self.child.rows(context):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            produced += 1
+            yield row
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit {self.limit} offset {self.offset}"
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    child: PlanNode
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        seen: set[tuple[tuple[str, Any], ...]] = set()
+        for row in self.child.rows(context):
+            key = tuple(sorted(row.items(), key=lambda pair: pair[0]))
+            try:
+                hashable = key
+                if hashable in seen:
+                    continue
+                seen.add(hashable)
+            except TypeError as exc:  # pragma: no cover - defensive
+                raise PlanError("DISTINCT over unhashable values") from exc
+            yield row
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class ValuesNode(PlanNode):
+    """A constant relation, used for SELECTs without a FROM clause."""
+
+    rows_data: tuple[dict[str, Any], ...] = (({}),)
+
+    def rows(self, context: PlanContext) -> Iterator[dict[str, Any]]:
+        yield from (dict(row) for row in self.rows_data)
+
+    def describe(self) -> str:
+        return f"Values rows={len(self.rows_data)}"

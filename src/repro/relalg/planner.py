@@ -1,0 +1,138 @@
+"""Translate SELECT ASTs into logical plans.
+
+The planner is intentionally straightforward: FROM + JOIN clauses become a
+left-deep tree of scans and nested-loop joins, WHERE becomes a filter,
+aggregation/grouping becomes an AggregateNode, then DISTINCT, ORDER BY and
+LIMIT wrap the result.  The rule-based optimizer (:mod:`repro.relalg.optimizer`)
+improves on this shape afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.relalg import plan as planops
+from repro.sqlparser import ast
+from repro.sqlparser.pretty import format_expression
+from repro.storage.database import Database
+
+
+def _output_name(item: ast.SelectItem, position: int) -> str:
+    """Choose the output column name for a SELECT item."""
+    if item.alias:
+        return item.alias
+    expression = item.expression
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name
+    if isinstance(expression, ast.FunctionCall):
+        return expression.name.lower()
+    if isinstance(expression, ast.Star):
+        return "*"
+    return f"column{position + 1}"
+
+
+def _validate_tables(select: ast.Select, database: Database) -> None:
+    if select.from_table is not None and not database.has_table(select.from_table.name):
+        # Let Database raise the canonical error type.
+        database.table(select.from_table.name)
+    for join in select.joins:
+        if not database.has_table(join.table.name):
+            database.table(join.table.name)
+
+
+def build_plan(select: ast.Select, database: Database) -> planops.PlanNode:
+    """Build an unoptimized logical plan for a plain SELECT."""
+    _validate_tables(select, database)
+
+    node: planops.PlanNode
+    if select.from_table is None:
+        node = planops.ValuesNode(({},))
+    else:
+        node = planops.ScanNode(select.from_table.name, select.from_table.binding)
+        for join in select.joins:
+            right = planops.ScanNode(join.table.name, join.table.binding)
+            right_schema = database.schema(join.table.name)
+            right_columns = tuple(
+                f"{join.table.binding.lower()}.{column.lower()}"
+                for column in right_schema.column_names
+            )
+            node = planops.JoinNode(
+                left=node,
+                right=right,
+                condition=join.condition,
+                kind=join.kind,
+                right_columns=right_columns,
+            )
+
+    if select.where is not None:
+        node = planops.FilterNode(node, select.where)
+
+    output_names = tuple(_output_name(item, index) for index, item in enumerate(select.items))
+    expressions = tuple(item.expression for item in select.items)
+
+    has_aggregates = bool(select.group_by) or any(
+        ast.contains_aggregate(expression) for expression in expressions
+    )
+    if select.having is not None and not has_aggregates:
+        raise PlanError("HAVING requires GROUP BY or aggregate functions")
+
+    if has_aggregates:
+        for expression in expressions:
+            if isinstance(expression, ast.Star):
+                raise PlanError("'*' cannot be mixed with aggregation")
+        node = planops.AggregateNode(
+            child=node,
+            group_by=select.group_by,
+            output_names=output_names,
+            expressions=expressions,
+            having=select.having,
+        )
+    else:
+        # ORDER BY may reference columns that are not in the SELECT list, so
+        # keep the input columns around for the sort (unless DISTINCT, where
+        # the output must be exactly the projected columns).
+        passthrough = bool(select.order_by) and not select.distinct
+        node = planops.ProjectNode(node, output_names, expressions, passthrough=passthrough)
+
+    if select.distinct:
+        node = planops.DistinctNode(node)
+
+    if select.order_by:
+        node = planops.SortNode(node, select.order_by)
+
+    if select.limit is not None or select.offset is not None:
+        node = planops.LimitNode(node, select.limit, select.offset or 0)
+
+    return node
+
+
+def output_columns(select: ast.Select, database: Database) -> list[str]:
+    """The output column names a SELECT will produce (expanding ``*``)."""
+    names: list[str] = []
+    for index, item in enumerate(select.items):
+        expression = item.expression
+        if isinstance(expression, ast.Star):
+            bindings: list[tuple[str, str]] = []
+            if select.from_table is not None:
+                bindings.append((select.from_table.binding, select.from_table.name))
+            for join in select.joins:
+                bindings.append((join.table.binding, join.table.name))
+            if not bindings:
+                raise PlanError("'*' requires a FROM clause")
+            for binding, table_name in bindings:
+                if expression.table and expression.table.lower() != binding.lower():
+                    continue
+                for column in database.schema(table_name).column_names:
+                    names.append(column.lower())
+        else:
+            names.append(_output_name(item, index).lower())
+    return names
+
+
+def explain(select: ast.Select, database: Database) -> str:
+    """Human-readable plan description (after optimization)."""
+    from repro.relalg.optimizer import optimize
+
+    node = optimize(build_plan(select, database), database)
+    header = f"-- plan for: {format_expression if False else ''}"
+    del header
+    return node.explain()

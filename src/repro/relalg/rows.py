@@ -1,0 +1,84 @@
+"""Row environments used during plan execution.
+
+During execution a "row" is a mapping from *binding names* to column values.
+A binding name is either a qualified name (``alias.column``) or, when the
+column name is unambiguous across the bindings in scope, the bare column name.
+The :class:`RowEnv` wrapper resolves :class:`~repro.sqlparser.ast.ColumnRef`
+nodes against such a mapping, also consulting an optional outer environment so
+correlated subqueries can see the enclosing row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.errors import EvaluationError
+
+
+class RowEnv:
+    """A scope for resolving column references while evaluating expressions."""
+
+    def __init__(self, values: Mapping[str, Any], outer: Optional["RowEnv"] = None) -> None:
+        self._values = dict(values)
+        self._outer = outer
+
+    @property
+    def values(self) -> dict[str, Any]:
+        return dict(self._values)
+
+    def child(self, values: Mapping[str, Any]) -> "RowEnv":
+        """A new scope whose unresolved references fall back to this one."""
+        return RowEnv(values, outer=self)
+
+    def try_resolve(self, name: str, table: str | None = None) -> tuple[bool, Any]:
+        """Attempt to resolve a (possibly qualified) column reference.
+
+        Returns ``(found, value)``.  Ambiguous bare references raise
+        :class:`~repro.errors.EvaluationError` immediately since silently
+        picking one binding would hide bugs in user queries.
+        """
+        if table is not None:
+            key = f"{table.lower()}.{name.lower()}"
+            if key in self._values:
+                return True, self._values[key]
+        else:
+            lowered = name.lower()
+            if lowered in self._values:
+                return True, self._values[lowered]
+            matches = [
+                key for key in self._values
+                if "." in key and key.split(".", 1)[1] == lowered
+            ]
+            if len(matches) == 1:
+                return True, self._values[matches[0]]
+            if len(matches) > 1:
+                raise EvaluationError(f"ambiguous column reference: {name!r}")
+        if self._outer is not None:
+            return self._outer.try_resolve(name, table)
+        return False, None
+
+    def resolve(self, name: str, table: str | None = None) -> Any:
+        found, value = self.try_resolve(name, table)
+        if not found:
+            qualified = f"{table}.{name}" if table else name
+            raise EvaluationError(f"unknown column reference: {qualified!r}")
+        return value
+
+
+def bind_row(binding: str, row: Mapping[str, Any]) -> dict[str, Any]:
+    """Turn a table row (column → value) into binding-qualified keys."""
+    prefix = binding.lower()
+    return {f"{prefix}.{column.lower()}": value for column, value in row.items()}
+
+
+def merge_rows(*rows: Mapping[str, Any]) -> dict[str, Any]:
+    """Merge binding-qualified row fragments into one mapping."""
+    merged: dict[str, Any] = {}
+    for fragment in rows:
+        merged.update(fragment)
+    return merged
+
+
+def output_row(names: Iterable[str], values: Iterable[Any]) -> dict[str, Any]:
+    """Build a result row with lowercase output column names."""
+    return {name.lower(): value for name, value in zip(names, values)}

@@ -1,0 +1,24 @@
+"""SQL and entangled-SQL front end.
+
+Public surface:
+
+* :func:`~repro.sqlparser.parser.parse_statement` / :func:`~repro.sqlparser.parser.parse_script`
+* the AST node classes in :mod:`repro.sqlparser.ast`
+* :func:`~repro.sqlparser.pretty.format_statement` / :func:`~repro.sqlparser.pretty.format_expression`
+"""
+
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_script, parse_statement
+from repro.sqlparser.pretty import format_expression, format_statement
+from repro.sqlparser.tokens import Token, TokenType, tokenize
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "ast",
+    "format_expression",
+    "format_statement",
+    "parse_script",
+    "parse_statement",
+    "tokenize",
+]

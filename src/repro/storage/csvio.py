@@ -1,0 +1,86 @@
+"""CSV import/export for tables.
+
+Used by the example scripts and the admin interface to move small datasets
+(flight schedules, hotel inventories) in and out of the system.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.schema import ColumnType, TableSchema
+from repro.storage.table import Table
+
+
+def _parse_cell(column_type: ColumnType, text: str) -> Any:
+    if text == "":
+        return None
+    if column_type is ColumnType.ANY:
+        for parser in (int, float):
+            try:
+                return parser(text)
+            except ValueError:
+                continue
+        return text
+    if column_type is ColumnType.INTEGER:
+        return int(text)
+    if column_type is ColumnType.REAL:
+        return float(text)
+    if column_type is ColumnType.BOOLEAN:
+        lowered = text.strip().lower()
+        if lowered in ("1", "true", "t", "yes"):
+            return True
+        if lowered in ("0", "false", "f", "no"):
+            return False
+        raise StorageError(f"cannot parse boolean from {text!r}")
+    return text
+
+
+def export_table(table: Table, path: str | Path) -> int:
+    """Write ``table`` to ``path`` as CSV with a header row.  Returns row count."""
+    schema = table.schema
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.column_names)
+        count = 0
+        for row in table.rows():
+            writer.writerow(["" if value is None else value for value in row])
+            count += 1
+    return count
+
+
+def import_table(table: Table, path: str | Path) -> int:
+    """Append rows from a CSV file (with header) into ``table``.
+
+    The header must name a subset of the table's columns; missing columns are
+    filled with ``None``.  Returns the number of rows inserted.
+    """
+    schema: TableSchema = table.schema
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return 0
+        for name in header:
+            if not schema.has_column(name):
+                raise StorageError(
+                    f"CSV column {name!r} does not exist in table {schema.name!r}"
+                )
+        types = [schema.column(name).type for name in header]
+        count = 0
+        for cells in reader:
+            if len(cells) != len(header):
+                raise StorageError(
+                    f"CSV row has {len(cells)} cells, expected {len(header)}"
+                )
+            mapping = {
+                name: _parse_cell(column_type, cell)
+                for name, column_type, cell in zip(header, types, cells)
+            }
+            table.insert_mapping(mapping)
+            count += 1
+    return count

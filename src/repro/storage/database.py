@@ -1,0 +1,179 @@
+"""The database catalog: a named collection of in-memory tables.
+
+This is the "regular database tables" box of the Youtopia architecture
+(Figure 2 of the demo paper).  The catalog supports DDL (create / drop),
+lookups used by the relational engine, whole-database snapshots used by the
+transaction layer, and change notification hooks used by the coordination
+component to re-try pending entangled queries when base data changes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import DuplicateTableError, UnknownTableError
+from repro.storage.schema import Column, ColumnType, TableSchema, make_schema
+from repro.storage.table import Table
+
+# A change listener receives (table_name, kind) where kind is one of
+# "insert", "delete", "update", "truncate", "create", "drop".
+ChangeListener = Callable[[str, str], None]
+
+
+class Database:
+    """A thread-safe catalog of named :class:`Table` objects."""
+
+    def __init__(self, name: str = "youtopia") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._lock = threading.RLock()
+        self._listeners: list[ChangeListener] = []
+
+    # -- DDL --------------------------------------------------------------------
+
+    def create_table(
+        self,
+        schema: TableSchema | None = None,
+        *,
+        name: str | None = None,
+        columns: Iterable[tuple[str, str] | tuple[str, str, bool] | Column] | None = None,
+        primary_key: Sequence[str] = (),
+        if_not_exists: bool = False,
+    ) -> Table:
+        """Create a table from a schema or from ``name`` + ``columns`` specs."""
+        if schema is None:
+            if name is None or columns is None:
+                raise ValueError("either a schema or name+columns must be provided")
+            schema = make_schema(name, columns, primary_key)
+        key = schema.name.lower()
+        with self._lock:
+            if key in self._tables:
+                if if_not_exists:
+                    return self._tables[key]
+                raise DuplicateTableError(schema.name)
+            table = Table(schema)
+            self._tables[key] = table
+        self._notify(schema.name, "create")
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        with self._lock:
+            if key not in self._tables:
+                if if_exists:
+                    return
+                raise UnknownTableError(name)
+            del self._tables[key]
+        self._notify(name, "drop")
+
+    # -- lookups ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        with self._lock:
+            return sorted(table.name for table in self._tables.values())
+
+    def tables(self) -> Iterator[Table]:
+        with self._lock:
+            return iter(list(self._tables.values()))
+
+    def schema(self, name: str) -> TableSchema:
+        return self.table(name).schema
+
+    # -- DML convenience wrappers ---------------------------------------------------
+
+    def insert(self, table_name: str, values: Sequence[Any]) -> int:
+        row_id = self.table(table_name).insert(values)
+        self._notify(table_name, "insert")
+        return row_id
+
+    def insert_mapping(self, table_name: str, mapping: dict[str, Any]) -> int:
+        row_id = self.table(table_name).insert_mapping(mapping)
+        self._notify(table_name, "insert")
+        return row_id
+
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> list[int]:
+        ids = self.table(table_name).insert_many(rows)
+        if ids:
+            self._notify(table_name, "insert")
+        return ids
+
+    def delete_where(
+        self, table_name: str, predicate: Callable[[dict[str, Any]], bool]
+    ) -> int:
+        count = self.table(table_name).delete_where(predicate)
+        if count:
+            self._notify(table_name, "delete")
+        return count
+
+    def update_where(
+        self,
+        table_name: str,
+        predicate: Callable[[dict[str, Any]], bool],
+        updater: Callable[[dict[str, Any]], dict[str, Any]],
+    ) -> int:
+        count = self.table(table_name).update_where(predicate, updater)
+        if count:
+            self._notify(table_name, "update")
+        return count
+
+    def truncate(self, table_name: str) -> None:
+        self.table(table_name).truncate()
+        self._notify(table_name, "truncate")
+
+    # -- change notification ----------------------------------------------------------
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        """Register a callback invoked after every successful change."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ChangeListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, table_name: str, kind: str) -> None:
+        for listener in list(self._listeners):
+            listener(table_name, kind)
+
+    # -- snapshots (transaction support) -------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[int, tuple[Any, ...]]]:
+        """Capture the contents of every table keyed by lowercase table name."""
+        with self._lock:
+            return {key: table.snapshot() for key, table in self._tables.items()}
+
+    def restore(self, snapshot: dict[str, dict[int, tuple[Any, ...]]]) -> None:
+        """Restore table contents from a prior :meth:`snapshot`.
+
+        Tables created after the snapshot keep their schema but are truncated;
+        tables dropped after the snapshot are *not* resurrected (DDL is outside
+        the transactional scope of this reproduction).
+        """
+        with self._lock:
+            for key, table in self._tables.items():
+                if key in snapshot:
+                    table.restore(snapshot[key])
+                else:
+                    table.truncate()
+
+    # -- statistics ------------------------------------------------------------------------
+
+    def statistics(self) -> dict[str, int]:
+        """Row counts per table, for the administrative interface."""
+        with self._lock:
+            return {table.name: len(table) for table in self._tables.values()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name!r}, tables={self.table_names()})"
+
+
+__all__ = ["Database", "ChangeListener", "Column", "ColumnType", "TableSchema", "make_schema"]

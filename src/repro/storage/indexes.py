@@ -1,0 +1,80 @@
+"""Hash indexes over in-memory tables.
+
+The coordination component repeatedly probes base tables by equality (e.g.
+"all flights with ``dest = 'Paris'``") and probes the pending-query pool by
+(relation, constant-position) keys, so the storage engine offers simple
+unique and non-unique hash indexes.  An index maps a key — the tuple of the
+indexed column values — to the set of row ids currently carrying that key.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import ConstraintViolationError
+
+
+class HashIndex:
+    """A (possibly unique) hash index over a subset of a table's columns."""
+
+    def __init__(self, name: str, column_positions: Sequence[int], unique: bool = False) -> None:
+        if not column_positions:
+            raise ValueError("an index needs at least one column")
+        self.name = name
+        self.column_positions = tuple(column_positions)
+        self.unique = unique
+        self._buckets: dict[tuple[Any, ...], set[int]] = defaultdict(set)
+
+    # -- key handling ---------------------------------------------------------
+
+    def key_for_row(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        return tuple(row[position] for position in self.column_positions)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def add(self, row_id: int, row: Sequence[Any]) -> None:
+        key = self.key_for_row(row)
+        bucket = self._buckets[key]
+        if self.unique and bucket and row_id not in bucket:
+            raise ConstraintViolationError(
+                f"unique index {self.name!r} violated for key {key!r}"
+            )
+        bucket.add(row_id)
+
+    def remove(self, row_id: int, row: Sequence[Any]) -> None:
+        key = self.key_for_row(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(row_id)
+        if not bucket:
+            del self._buckets[key]
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def rebuild(self, rows: Iterable[tuple[int, Sequence[Any]]]) -> None:
+        """Rebuild from scratch from ``(row_id, row)`` pairs."""
+        self.clear()
+        for row_id, row in rows:
+            self.add(row_id, row)
+
+    # -- probing ---------------------------------------------------------------
+
+    def lookup(self, key: Sequence[Any]) -> frozenset[int]:
+        """Row ids whose indexed columns equal ``key`` (may be empty)."""
+        return frozenset(self._buckets.get(tuple(key), frozenset()))
+
+    def contains_key(self, key: Sequence[Any]) -> bool:
+        return tuple(key) in self._buckets
+
+    def keys(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._buckets.keys())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "unique" if self.unique else "non-unique"
+        return f"HashIndex({self.name!r}, columns={self.column_positions}, {kind}, keys={len(self._buckets)})"

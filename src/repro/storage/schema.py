@@ -1,0 +1,233 @@
+"""Table schemas: typed columns, primary keys, value validation and coercion.
+
+The storage engine is deliberately simple — a relation is a bag of tuples with
+a fixed, ordered list of typed columns — but the schema layer is strict: every
+value that enters a table is validated (and, where unambiguous, coerced)
+against the declared column type so the upper layers can rely on clean data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError
+
+
+class ColumnType(enum.Enum):
+    """The column types supported by the storage engine."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    ANY = "ANY"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ColumnType":
+        """Parse a SQL type name (``INT``, ``VARCHAR``, ...) into a ColumnType."""
+        normalized = name.strip().upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "DECIMAL": cls.REAL,
+            "NUMERIC": cls.REAL,
+            "TEXT": cls.TEXT,
+            "STRING": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+            "ANY": cls.ANY,
+        }
+        if normalized not in aliases:
+            raise SchemaError(f"unsupported column type: {name!r}")
+        return aliases[normalized]
+
+    def python_types(self) -> tuple[type, ...]:
+        """Python types accepted without coercion for this column type."""
+        if self is ColumnType.ANY:
+            return (int, float, str, bool)
+        if self is ColumnType.INTEGER:
+            return (int,)
+        if self is ColumnType.REAL:
+            return (float, int)
+        if self is ColumnType.BOOLEAN:
+            return (bool,)
+        return (str,)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema.
+
+    Parameters
+    ----------
+    name:
+        Column name; matching is case-insensitive but the declared spelling is
+        preserved for display.
+    type:
+        Declared :class:`ColumnType`.
+    nullable:
+        Whether ``None`` is an acceptable value.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def validate(self, value: Any) -> Any:
+        """Validate (and possibly coerce) ``value`` for this column.
+
+        Returns the stored representation.  Raises
+        :class:`~repro.errors.TypeMismatchError` when the value cannot be
+        represented in the declared type.
+        """
+        if value is None:
+            if not self.nullable:
+                raise TypeMismatchError(f"column {self.name!r} is NOT NULL")
+            return None
+        if self.type is ColumnType.ANY:
+            if isinstance(value, (int, float, str, bool)):
+                return value
+            raise TypeMismatchError(
+                f"column {self.name!r} expects a scalar value, got {value!r}"
+            )
+        if self.type is ColumnType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, int) and value in (0, 1):
+                return bool(value)
+            raise TypeMismatchError(f"column {self.name!r} expects BOOLEAN, got {value!r}")
+        if self.type is ColumnType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                if isinstance(value, float) and value.is_integer():
+                    return int(value)
+                raise TypeMismatchError(f"column {self.name!r} expects INTEGER, got {value!r}")
+            return value
+        if self.type is ColumnType.REAL:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeMismatchError(f"column {self.name!r} expects REAL, got {value!r}")
+            return float(value)
+        # TEXT
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"column {self.name!r} expects TEXT, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of columns plus an optional primary key.
+
+    The primary key is a tuple of column names; when present, the table
+    enforces uniqueness over those columns.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have at least one column")
+        seen: set[str] = set()
+        for column in self.columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise SchemaError(f"duplicate column {column.name!r} in table {self.name!r}")
+            seen.add(lowered)
+        for key_column in self.primary_key:
+            if key_column.lower() not in seen:
+                raise SchemaError(
+                    f"primary key column {key_column!r} not in table {self.name!r}"
+                )
+
+    # -- column lookups -----------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column_index(self, name: str) -> int:
+        """Return the position of column ``name`` (case-insensitive)."""
+        lowered = name.lower()
+        for index, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return index
+        raise UnknownColumnError(name, self.name)
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(column.name.lower() == lowered for column in self.columns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def primary_key_indexes(self) -> tuple[int, ...]:
+        return tuple(self.column_index(name) for name in self.primary_key)
+
+    # -- row validation -----------------------------------------------------
+
+    def validate_row(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Validate a full positional row and return the stored tuple."""
+        if len(values) != len(self.columns):
+            raise TypeMismatchError(
+                f"table {self.name!r} expects {len(self.columns)} values, got {len(values)}"
+            )
+        return tuple(
+            column.validate(value) for column, value in zip(self.columns, values)
+        )
+
+    def row_from_mapping(self, mapping: dict[str, Any]) -> tuple[Any, ...]:
+        """Build a positional row from a column-name → value mapping.
+
+        Missing columns become ``None`` (subject to NOT NULL validation);
+        unknown keys raise :class:`~repro.errors.UnknownColumnError`.
+        """
+        lowered_to_value: dict[str, Any] = {}
+        for key, value in mapping.items():
+            if not self.has_column(key):
+                raise UnknownColumnError(key, self.name)
+            lowered_to_value[key.lower()] = value
+        values = [lowered_to_value.get(column.name.lower()) for column in self.columns]
+        return self.validate_row(values)
+
+    def row_as_dict(self, row: Sequence[Any]) -> dict[str, Any]:
+        """Return ``row`` as a column-name → value dictionary."""
+        return {column.name: value for column, value in zip(self.columns, row)}
+
+
+def make_schema(
+    name: str,
+    columns: Iterable[tuple[str, str] | tuple[str, str, bool] | Column],
+    primary_key: Sequence[str] = (),
+) -> TableSchema:
+    """Convenience constructor used throughout tests and applications.
+
+    ``columns`` accepts either :class:`Column` instances or ``(name, type)`` /
+    ``(name, type, nullable)`` tuples where ``type`` is a SQL type name.
+    """
+    built: list[Column] = []
+    for spec in columns:
+        if isinstance(spec, Column):
+            built.append(spec)
+            continue
+        if len(spec) == 2:
+            column_name, type_name = spec  # type: ignore[misc]
+            nullable = True
+        else:
+            column_name, type_name, nullable = spec  # type: ignore[misc]
+        built.append(Column(column_name, ColumnType.from_name(type_name), nullable))
+    return TableSchema(name=name, columns=tuple(built), primary_key=tuple(primary_key))

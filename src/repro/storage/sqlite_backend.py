@@ -1,0 +1,180 @@
+"""SQLite persistence for the in-memory catalog.
+
+The Youtopia demo ran against a conventional persistent DBMS.  This module
+provides the closest laptop-scale equivalent: the working set stays in the
+in-memory :class:`~repro.storage.database.Database` (which is what the
+relational engine and the coordination component operate on), and a
+:class:`SQLiteMirror` keeps an on-disk SQLite database in sync so state
+survives process restarts and can be inspected with standard tools.
+
+The mirror is deliberately write-through and coarse-grained: after any change
+to a table it rewrites that table's rows inside a single SQLite transaction.
+For the dataset sizes of the demo scenarios and benchmarks this is more than
+fast enough, and it keeps the durability story simple and auditable.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.schema import Column, ColumnType, TableSchema
+
+_SQLITE_TYPES = {
+    ColumnType.INTEGER: "INTEGER",
+    ColumnType.REAL: "REAL",
+    ColumnType.TEXT: "TEXT",
+    ColumnType.BOOLEAN: "INTEGER",
+    # SQLite columns with an empty type name have "BLOB" (none) affinity,
+    # which is exactly what the dynamically-typed ANY columns need.
+    ColumnType.ANY: "",
+}
+
+
+def _quote_identifier(name: str) -> str:
+    """Quote an identifier for SQLite, refusing anything that needs escaping."""
+    if '"' in name:
+        raise StorageError(f"identifier {name!r} cannot be used with the SQLite mirror")
+    return f'"{name}"'
+
+
+def _create_table_sql(schema: TableSchema) -> str:
+    column_clauses = []
+    for column in schema.columns:
+        clause = f"{_quote_identifier(column.name)} {_SQLITE_TYPES[column.type]}"
+        if not column.nullable:
+            clause += " NOT NULL"
+        column_clauses.append(clause)
+    if schema.primary_key:
+        key_columns = ", ".join(_quote_identifier(name) for name in schema.primary_key)
+        column_clauses.append(f"PRIMARY KEY ({key_columns})")
+    return (
+        f"CREATE TABLE IF NOT EXISTS {_quote_identifier(schema.name)} "
+        f"({', '.join(column_clauses)})"
+    )
+
+
+def _encode_value(column: Column, value: Any) -> Any:
+    if value is None:
+        return None
+    if column.type is ColumnType.BOOLEAN:
+        return int(value)
+    return value
+
+
+def _decode_value(column: Column, value: Any) -> Any:
+    if value is None:
+        return None
+    if column.type is ColumnType.BOOLEAN:
+        return bool(value)
+    if column.type is ColumnType.REAL:
+        return float(value)
+    return value
+
+
+class SQLiteMirror:
+    """Write-through mirror of a :class:`Database` into a SQLite file."""
+
+    def __init__(self, database: Database, path: str | Path) -> None:
+        self.database = database
+        self.path = str(path)
+        self._connection = sqlite3.connect(self.path)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Start mirroring: push current state and subscribe to changes."""
+        if self._attached:
+            return
+        for table in self.database.tables():
+            self._sync_table(table.name)
+        self.database.add_listener(self._on_change)
+        self._attached = True
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self.database.remove_listener(self._on_change)
+        self._attached = False
+
+    def close(self) -> None:
+        self.detach()
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteMirror":
+        self.attach()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # -- mirroring ----------------------------------------------------------------
+
+    def _on_change(self, table_name: str, kind: str) -> None:
+        if kind == "drop":
+            with self._connection:
+                self._connection.execute(
+                    f"DROP TABLE IF EXISTS {_quote_identifier(table_name)}"
+                )
+            return
+        self._sync_table(table_name)
+
+    def _sync_table(self, table_name: str) -> None:
+        table = self.database.table(table_name)
+        schema = table.schema
+        placeholders = ", ".join("?" for _ in schema.columns)
+        with self._connection:
+            self._connection.execute(_create_table_sql(schema))
+            self._connection.execute(f"DELETE FROM {_quote_identifier(schema.name)}")
+            rows = [
+                tuple(
+                    _encode_value(column, value)
+                    for column, value in zip(schema.columns, row)
+                )
+                for row in table.rows()
+            ]
+            if rows:
+                self._connection.executemany(
+                    f"INSERT INTO {_quote_identifier(schema.name)} VALUES ({placeholders})",
+                    rows,
+                )
+
+    # -- recovery ------------------------------------------------------------------
+
+    def load_into(self, table_name: str) -> int:
+        """Load persisted rows of ``table_name`` into the in-memory table.
+
+        The in-memory table must already exist (schemas are owned by the
+        catalog, not by the mirror).  Returns the number of rows loaded.
+        """
+        table = self.database.table(table_name)
+        schema = table.schema
+        cursor = self._connection.execute(
+            f"SELECT * FROM {_quote_identifier(schema.name)}"
+        )
+        count = 0
+        for raw in cursor.fetchall():
+            decoded = tuple(
+                _decode_value(column, value)
+                for column, value in zip(schema.columns, raw)
+            )
+            table.insert(decoded)
+            count += 1
+        return count
+
+    def persisted_tables(self) -> list[str]:
+        cursor = self._connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def persisted_row_count(self, table_name: str) -> int:
+        cursor = self._connection.execute(
+            f"SELECT COUNT(*) FROM {_quote_identifier(table_name)}"
+        )
+        return int(cursor.fetchone()[0])

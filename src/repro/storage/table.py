@@ -1,0 +1,226 @@
+"""In-memory tables: the row store behind the Youtopia database catalog.
+
+A :class:`Table` stores validated positional tuples keyed by a monotonically
+increasing row id.  Row ids are internal — they never leak through the query
+engine — but they give updates, deletes and secondary indexes a stable handle.
+Tables support an optional primary key (enforced through a unique hash index)
+and any number of secondary hash indexes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import ConstraintViolationError, StorageError
+from repro.storage.indexes import HashIndex
+from repro.storage.schema import TableSchema
+
+
+class Table:
+    """A mutable bag of tuples conforming to a :class:`TableSchema`."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, tuple[Any, ...]] = {}
+        self._next_row_id = itertools.count(1)
+        self._indexes: dict[str, HashIndex] = {}
+        if schema.primary_key:
+            self.create_index("__pk__", schema.primary_key, unique=True)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(list(self._rows.values()))
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """A snapshot list of all rows (positional tuples)."""
+        return list(self._rows.values())
+
+    def rows_with_ids(self) -> list[tuple[int, tuple[Any, ...]]]:
+        return list(self._rows.items())
+
+    def dicts(self) -> list[dict[str, Any]]:
+        """All rows as column-name → value dictionaries."""
+        return [self.schema.row_as_dict(row) for row in self._rows.values()]
+
+    # -- index management ------------------------------------------------------
+
+    def create_index(self, name: str, columns: Sequence[str], unique: bool = False) -> HashIndex:
+        if name in self._indexes:
+            raise StorageError(f"index {name!r} already exists on table {self.name!r}")
+        positions = tuple(self.schema.column_index(column) for column in columns)
+        index = HashIndex(name, positions, unique=unique)
+        index.rebuild(self._rows.items())
+        self._indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise StorageError(f"no index named {name!r} on table {self.name!r}")
+        del self._indexes[name]
+
+    def indexes(self) -> dict[str, HashIndex]:
+        return dict(self._indexes)
+
+    def find_index(self, columns: Sequence[str]) -> HashIndex | None:
+        """Return an index exactly covering ``columns`` (in order), if any."""
+        wanted = tuple(self.schema.column_index(column) for column in columns)
+        for index in self._indexes.values():
+            if index.column_positions == wanted:
+                return index
+        return None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> int:
+        """Insert a positional row, returning its internal row id."""
+        row = self.schema.validate_row(values)
+        row_id = next(self._next_row_id)
+        # Validate unique indexes before touching any of them so a violation
+        # leaves the table unchanged.
+        for index in self._indexes.values():
+            if index.unique and index.lookup(index.key_for_row(row)):
+                raise ConstraintViolationError(
+                    f"unique index {index.name!r} on table {self.name!r} "
+                    f"violated by row {row!r}"
+                )
+        self._rows[row_id] = row
+        for index in self._indexes.values():
+            index.add(row_id, row)
+        return row_id
+
+    def insert_mapping(self, mapping: dict[str, Any]) -> int:
+        """Insert a row given as a column-name → value mapping."""
+        return self.insert(self.schema.row_from_mapping(mapping))
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> list[int]:
+        return [self.insert(row) for row in rows]
+
+    def delete_where(self, predicate: Callable[[dict[str, Any]], bool]) -> int:
+        """Delete every row whose dict form satisfies ``predicate``."""
+        doomed = [
+            row_id
+            for row_id, row in self._rows.items()
+            if predicate(self.schema.row_as_dict(row))
+        ]
+        for row_id in doomed:
+            self._delete_row_id(row_id)
+        return len(doomed)
+
+    def update_where(
+        self,
+        predicate: Callable[[dict[str, Any]], bool],
+        updater: Callable[[dict[str, Any]], dict[str, Any]],
+    ) -> int:
+        """Update matching rows.
+
+        ``updater`` receives the current row as a dict and returns a dict of
+        column → new value assignments (a partial update).  Returns the number
+        of rows updated.
+        """
+        touched = 0
+        for row_id, row in list(self._rows.items()):
+            as_dict = self.schema.row_as_dict(row)
+            if not predicate(as_dict):
+                continue
+            assignments = updater(as_dict)
+            merged = dict(as_dict)
+            merged.update(assignments)
+            new_row = self.schema.row_from_mapping(merged)
+            self._replace_row(row_id, new_row)
+            touched += 1
+        return touched
+
+    def truncate(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    def _delete_row_id(self, row_id: int) -> None:
+        row = self._rows.pop(row_id)
+        for index in self._indexes.values():
+            index.remove(row_id, row)
+
+    def _replace_row(self, row_id: int, new_row: tuple[Any, ...]) -> None:
+        old_row = self._rows[row_id]
+        for index in self._indexes.values():
+            index.remove(row_id, old_row)
+        try:
+            for index in self._indexes.values():
+                if index.unique and index.lookup(index.key_for_row(new_row)):
+                    raise ConstraintViolationError(
+                        f"unique index {index.name!r} on table {self.name!r} "
+                        f"violated by update to {new_row!r}"
+                    )
+            self._rows[row_id] = new_row
+            for index in self._indexes.values():
+                index.add(row_id, new_row)
+        except ConstraintViolationError:
+            # restore the original row and its index entries before re-raising
+            self._rows[row_id] = old_row
+            for index in self._indexes.values():
+                index.add(row_id, old_row)
+            raise
+
+    # -- querying ---------------------------------------------------------------
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Iterate over all rows as dictionaries (snapshot semantics)."""
+        for row in self.rows():
+            yield self.schema.row_as_dict(row)
+
+    def lookup_equal(self, column_values: dict[str, Any]) -> list[dict[str, Any]]:
+        """All rows matching the conjunction of ``column = value`` predicates.
+
+        Uses a covering hash index when one exists, otherwise falls back to a
+        scan.  The probe values are validated against the column types first so
+        that e.g. probing an INTEGER column with a float key behaves like the
+        scan path.
+        """
+        if not column_values:
+            return list(self.scan())
+        columns = list(column_values.keys())
+        validated = {
+            column: self.schema.column(column).validate(value)
+            for column, value in column_values.items()
+        }
+        index = self.find_index(columns)
+        if index is not None:
+            key = tuple(validated[column] for column in columns)
+            return [
+                self.schema.row_as_dict(self._rows[row_id])
+                for row_id in sorted(index.lookup(key))
+            ]
+        return [
+            row
+            for row in self.scan()
+            if all(row[self.schema.column(c).name] == v for c, v in validated.items())
+        ]
+
+    def contains_row(self, values: Sequence[Any]) -> bool:
+        """Whether an exact positional row is present (bag membership >= 1)."""
+        target = self.schema.validate_row(values)
+        return any(row == target for row in self._rows.values())
+
+    # -- snapshot / restore (transaction support) --------------------------------
+
+    def snapshot(self) -> dict[int, tuple[Any, ...]]:
+        """An immutable copy of the current row-id → row mapping."""
+        return dict(self._rows)
+
+    def restore(self, snapshot: dict[int, tuple[Any, ...]]) -> None:
+        """Restore a previously captured snapshot, rebuilding indexes."""
+        self._rows = dict(snapshot)
+        for index in self._indexes.values():
+            index.rebuild(self._rows.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={len(self)})"

@@ -1,0 +1,46 @@
+"""Workload generation and named demo scenarios.
+
+Public surface:
+
+* :class:`~repro.workloads.generator.WorkloadConfig`, :class:`~repro.workloads.generator.WorkloadGenerator`
+* :func:`~repro.workloads.generator.build_loaded_system`, :func:`~repro.workloads.generator.run_workload`
+* the named scenarios in :data:`~repro.workloads.scenarios.SCENARIOS`
+"""
+
+from repro.workloads.generator import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    WorkloadItem,
+    WorkloadResult,
+    build_loaded_system,
+    run_workload,
+)
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    ScenarioOutcome,
+    adhoc_chain,
+    group_flight,
+    group_flight_hotel,
+    loaded_system,
+    many_pairs,
+    pair_flight,
+    pair_flight_hotel,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioOutcome",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WorkloadItem",
+    "WorkloadResult",
+    "adhoc_chain",
+    "build_loaded_system",
+    "group_flight",
+    "group_flight_hotel",
+    "loaded_system",
+    "many_pairs",
+    "pair_flight",
+    "pair_flight_hotel",
+    "run_workload",
+]

@@ -1,0 +1,100 @@
+"""Integration tests for concurrent submission of entangled queries.
+
+The demo shows "multiple users ... concurrently trying to coordinate flight
+and hotel reservations together"; the coordinator serialises match attempts
+internally, so submissions from many threads must still produce consistent,
+pairwise-coordinated answers and consistent inventory.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.apps.travel.service import TravelService
+from repro.core.coordinator import QueryStatus
+from repro.workloads import WorkloadConfig, WorkloadGenerator, build_loaded_system
+
+
+class TestConcurrentSubmission:
+    def test_pairs_submitted_from_many_threads_all_coordinate(self):
+        system, service, _friends = build_loaded_system(
+            num_flights=40, num_hotels=10, num_users=64, seed=6
+        )
+        generator = WorkloadGenerator(service, WorkloadConfig(seed=6))
+        items = generator.pair_items(16)
+
+        requests = []
+        requests_lock = threading.Lock()
+
+        def submit(item):
+            request = system.submit_entangled(item.query, owner=item.owner)
+            with requests_lock:
+                requests.append(request)
+
+        threads = [threading.Thread(target=submit, args=(item,)) for item in items]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(requests) == 32
+        assert all(request.status is QueryStatus.ANSWERED for request in requests)
+        reservations = system.answers("Reservation")
+        assert len(reservations) == 32
+
+        # every traveller flies on exactly the flight their partner flies on
+        booked = dict(reservations)
+        for item in items:
+            partner = item.expected_group[0] if item.expected_group[0] != item.owner else item.expected_group[1]
+            assert booked[item.owner] == booked[partner]
+
+    def test_inventory_consistent_under_concurrent_bookings(self):
+        system, service, _friends = build_loaded_system(
+            num_flights=10, num_hotels=5, num_users=32, seed=7
+        )
+        seats_before = {
+            fno: seats for fno, seats in system.query("SELECT fno, seats FROM Flights").rows
+        }
+        generator = WorkloadGenerator(service, WorkloadConfig(seed=7))
+        items = generator.pair_items(10)
+
+        threads = [
+            threading.Thread(target=system.submit_entangled, args=(item.query, item.owner))
+            for item in items
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        seats_after = {
+            fno: seats for fno, seats in system.query("SELECT fno, seats FROM Flights").rows
+        }
+        booked_per_flight: dict[int, int] = {}
+        for _traveler, fno in system.answers("Reservation"):
+            booked_per_flight[fno] = booked_per_flight.get(fno, 0) + 1
+        # seat decrements exactly mirror the reservations that were made
+        for fno, before in seats_before.items():
+            assert seats_after[fno] == before - booked_per_flight.get(fno, 0)
+
+    def test_waiters_are_woken_by_other_threads(self):
+        system, service, _friends = build_loaded_system(
+            num_flights=12, num_hotels=4, num_users=8, seed=8
+        )
+        generator = WorkloadGenerator(service, WorkloadConfig(seed=8))
+        first, second = generator.pair_items(1)
+
+        early = system.submit_entangled(first.query, owner=first.owner)
+        answers = {}
+
+        def waiter():
+            answers["result"] = system.wait(early.query_id, timeout=5.0)
+
+        waiting_thread = threading.Thread(target=waiter)
+        waiting_thread.start()
+        system.submit_entangled(second.query, owner=second.owner)
+        waiting_thread.join(timeout=5.0)
+        assert not waiting_thread.is_alive()
+        assert "Reservation" in answers["result"].tuples

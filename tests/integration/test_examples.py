@@ -1,0 +1,46 @@
+"""Integration check that every example script runs to completion.
+
+The examples are part of the deliverable (they are the demo walkthroughs a new
+user would run first), so the suite executes each one in a subprocess and
+checks both the exit code and a few key lines of its output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["coordination succeeded"],
+    "travel_pair.py": ["Book a flight with a friend", "Final account view"],
+    "travel_group.py": ["Group flight booking", "groups matched"],
+    "travel_adhoc.py": ["only Kramer and Elaine share a hotel"],
+    "cli_session.py": ["youtopia>", "ANSWERED"],
+    "admin_walkthrough.py": ["Youtopia system state", "query_registered"],
+    "loaded_system.py": ["Sweep 1", "Shape check"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_cleanly(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example script missing: {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for expected in EXPECTED_OUTPUT[script]:
+        assert expected in completed.stdout
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)

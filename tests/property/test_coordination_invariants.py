@@ -1,0 +1,95 @@
+"""Property-based tests of end-to-end coordination invariants.
+
+Whatever random workload of travel coordination requests is thrown at a
+Youtopia instance, the following must hold afterwards:
+
+* **Answer soundness** — every tuple in an answer relation was contributed by
+  the head of exactly one *answered* query under its reported binding.
+* **Constraint satisfaction** — for every answered query, every one of its
+  coordination constraints is satisfied by tuples of queries answered in the
+  same group.
+* **Joint answering** — queries of one group are either all answered or all
+  still pending; and every answered group's members name each other.
+* **Conservation** — registered = answered + pending + cancelled + rejected.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coordinator import QueryStatus
+from repro.workloads import WorkloadConfig, WorkloadGenerator, build_loaded_system, run_workload
+
+workload_configs = st.tuples(
+    st.integers(min_value=0, max_value=6),   # pairs
+    st.integers(min_value=0, max_value=2),   # groups
+    st.integers(min_value=2, max_value=4),   # group size
+    st.integers(min_value=0, max_value=3),   # unmatchable
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload_configs)
+def test_coordination_invariants(config):
+    num_pairs, num_groups, group_size, num_unmatchable, seed = config
+    system, service, _friends = build_loaded_system(
+        num_flights=18, num_hotels=9, num_users=8, seed=seed % 97
+    )
+    generator = WorkloadGenerator(
+        service,
+        WorkloadConfig(
+            num_pairs=num_pairs,
+            num_groups=num_groups,
+            group_size=group_size,
+            num_unmatchable=num_unmatchable,
+            shuffle_arrivals=True,
+            seed=seed,
+        ),
+    )
+    items = generator.generate()
+    result = run_workload(system, items)
+
+    requests = system.coordinator.requests()
+    answered = [r for r in requests if r.status is QueryStatus.ANSWERED]
+    pending = [r for r in requests if r.status is QueryStatus.PENDING]
+
+    # -- conservation ---------------------------------------------------------
+    assert result.submitted == len(items)
+    assert len(requests) == len(items)
+    assert len(answered) + len(pending) == len(items)
+    assert result.answered == len(answered)
+
+    # -- answer soundness -----------------------------------------------------
+    contributed: dict[str, list[tuple]] = {}
+    for request in answered:
+        assert request.answer is not None
+        for relation, values in request.answer.all_tuples():
+            contributed.setdefault(relation.lower(), []).append(values)
+    for relation_name in system.answer_relations.names():
+        stored = sorted(map(repr, system.answers(relation_name)))
+        expected = sorted(map(repr, contributed.get(relation_name.lower(), [])))
+        assert stored == expected
+
+    # -- constraint satisfaction & joint answering ------------------------------
+    for request in answered:
+        group_ids = set(request.group_query_ids)
+        assert request.query_id in group_ids
+        group_requests = [system.coordinator.request(query_id) for query_id in group_ids]
+        assert all(member.status is QueryStatus.ANSWERED for member in group_requests)
+        # tuples contributed by the group
+        group_tuples: dict[str, set] = {}
+        for member in group_requests:
+            for relation, values in member.answer.all_tuples():
+                group_tuples.setdefault(relation.lower(), set()).add(values)
+        binding = request.answer.binding
+        for atom in request.query.answer_atoms:
+            instantiated = atom.substitute(binding)
+            assert instantiated in group_tuples.get(atom.relation.lower(), set()), (
+                f"constraint {atom} of {request.query_id} not satisfied by its group"
+            )
+
+    # -- pending queries have no partner among the answered ----------------------
+    for request in pending:
+        assert request.answer is None
+        assert request.group_query_ids == ()

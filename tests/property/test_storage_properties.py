@@ -1,0 +1,98 @@
+"""Property-based tests for the storage engine against a simple Python model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConstraintViolationError
+from repro.storage.schema import make_schema
+from repro.storage.table import Table
+
+rows = st.tuples(
+    st.integers(min_value=0, max_value=50),
+    st.sampled_from(["Paris", "Rome", "Athens", "Berlin"]),
+    st.one_of(st.none(), st.floats(min_value=0, max_value=1000, allow_nan=False)),
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), rows),
+        st.tuples(st.just("delete_dest"), st.sampled_from(["Paris", "Rome", "Athens", "Berlin"])),
+        st.tuples(st.just("update_price"), st.integers(min_value=0, max_value=50)),
+    ),
+    max_size=40,
+)
+
+
+def fresh_table() -> Table:
+    return Table(make_schema("T", [("id", "INT"), ("dest", "TEXT"), ("price", "REAL")]))
+
+
+@settings(max_examples=120, deadline=None)
+@given(operations)
+def test_table_matches_list_model(ops):
+    """Insert/delete/update on the table behave like the same ops on a plain list."""
+    table = fresh_table()
+    table.create_index("by_dest", ["dest"])
+    model: list[tuple] = []
+
+    for kind, payload in ops:
+        if kind == "insert":
+            table.insert(payload)
+            identifier, dest, price = payload
+            model.append((identifier, dest, None if price is None else float(price)))
+        elif kind == "delete_dest":
+            table.delete_where(lambda row: row["dest"] == payload)
+            model = [row for row in model if row[1] != payload]
+        else:  # update_price
+            table.update_where(
+                lambda row: row["id"] == payload, lambda row: {"price": 999.0}
+            )
+            model = [
+                (identifier, dest, 999.0) if identifier == payload else (identifier, dest, price)
+                for identifier, dest, price in model
+            ]
+
+    from collections import Counter
+
+    assert Counter(map(repr, table.rows())) == Counter(map(repr, model))
+    # the index agrees with a full scan for every destination
+    for dest in ("Paris", "Rome", "Athens", "Berlin"):
+        via_index = sorted(row["id"] for row in table.lookup_equal({"dest": dest}))
+        via_scan = sorted(identifier for identifier, d, _ in model if d == dest)
+        assert via_index == via_scan
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=40))
+def test_primary_key_uniqueness_is_invariant(keys):
+    """However inserts interleave, a keyed table never holds duplicate keys."""
+    table = Table(make_schema("K", [("id", "INT")], primary_key=("id",)))
+    accepted = set()
+    for key in keys:
+        try:
+            table.insert((key,))
+            assert key not in accepted
+            accepted.add(key)
+        except ConstraintViolationError:
+            assert key in accepted
+    assert {row["id"] for row in table.scan()} == accepted
+
+
+@settings(max_examples=80, deadline=None)
+@given(operations, operations)
+def test_snapshot_restore_is_exact(before_ops, after_ops):
+    """Restoring a snapshot erases exactly the effects applied after it."""
+    table = fresh_table()
+    for kind, payload in before_ops:
+        if kind == "insert":
+            table.insert(payload)
+    expected = sorted(table.rows(), key=repr)
+    snapshot = table.snapshot()
+    for kind, payload in after_ops:
+        if kind == "insert":
+            table.insert(payload)
+        elif kind == "delete_dest":
+            table.delete_where(lambda row: row["dest"] == payload)
+    table.restore(snapshot)
+    assert sorted(table.rows(), key=repr) == expected

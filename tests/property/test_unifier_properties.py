@@ -1,0 +1,85 @@
+"""Property-based tests for the unifier's union-find invariants and undo trail."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import Unifier, _UNBOUND
+
+nodes = st.tuples(st.sampled_from(["q1", "q2", "q3"]), st.sampled_from(["x", "y", "z", "w"]))
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("union"), nodes, nodes),
+        st.tuples(st.just("bind"), nodes, st.integers(min_value=0, max_value=3)),
+    ),
+    max_size=30,
+)
+
+
+def apply_ops(unifier: Unifier, ops) -> None:
+    for operation in ops:
+        if operation[0] == "union":
+            unifier.union(operation[1], operation[2])
+        else:
+            unifier.bind(operation[1], operation[2])
+
+
+def state_of(unifier: Unifier):
+    """Canonical view: partition of all nodes plus the constant of each class."""
+    all_nodes = [(q, v) for q in ("q1", "q2", "q3") for v in ("x", "y", "z", "w")]
+    partition = {}
+    for node in all_nodes:
+        partition.setdefault(unifier.find(node), set()).add(node)
+    values = {root: unifier.value_of(root) for root in partition}
+    return {frozenset(members): values[root] for root, members in partition.items()}
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations)
+def test_find_is_idempotent_and_consistent(ops):
+    unifier = Unifier()
+    apply_ops(unifier, ops)
+    for q in ("q1", "q2", "q3"):
+        for v in ("x", "y", "z", "w"):
+            root = unifier.find((q, v))
+            assert unifier.find(root) == root
+            # every member of a class reports the same constant
+            assert unifier.value_of((q, v)) == unifier.value_of(root)
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations)
+def test_successful_union_merges_classes(ops):
+    unifier = Unifier()
+    apply_ops(unifier, ops)
+    if unifier.union(("q1", "x"), ("q2", "y")):
+        assert unifier.find(("q1", "x")) == unifier.find(("q2", "y"))
+    else:
+        # a refused union can only be due to conflicting constants
+        left = unifier.value_of(("q1", "x"))
+        right = unifier.value_of(("q2", "y"))
+        assert left is not _UNBOUND and right is not _UNBOUND and left != right
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations, operations)
+def test_undo_restores_previous_state_exactly(first_ops, second_ops):
+    unifier = Unifier()
+    apply_ops(unifier, first_ops)
+    before = state_of(unifier)
+    mark = unifier.mark()
+    apply_ops(unifier, second_ops)
+    unifier.undo_to(mark)
+    assert state_of(unifier) == before
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations)
+def test_binding_twice_with_same_value_is_stable(ops):
+    unifier = Unifier()
+    apply_ops(unifier, ops)
+    if unifier.bind(("q1", "x"), 7):
+        assert unifier.bind(("q1", "x"), 7)
+        assert not unifier.bind(("q1", "x"), 8)
+        assert unifier.value_of(("q1", "x")) == 7

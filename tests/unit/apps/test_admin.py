@@ -1,0 +1,115 @@
+"""Unit tests for the administrative inspection interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.admin import AdminInterface
+from repro.core.system import YoutopiaSystem
+
+KRAMER_SQL = (
+    "SELECT 'Kramer', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+    "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1"
+)
+JERRY_SQL = (
+    "SELECT 'Jerry', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+    "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1"
+)
+ELAINE_SQL = (
+    "SELECT 'Elaine', hid INTO ANSWER HotelReservation "
+    "WHERE hid IN (SELECT hid FROM Hotels WHERE city = 'Paris') "
+    "AND ('George', hid) IN ANSWER HotelReservation CHOOSE 1"
+)
+
+
+@pytest.fixture
+def system() -> YoutopiaSystem:
+    system = YoutopiaSystem(seed=0)
+    system.execute_script(
+        """
+        CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT);
+        CREATE TABLE Hotels (hid INT PRIMARY KEY, city TEXT);
+        INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris');
+        INSERT INTO Hotels VALUES (7, 'Paris');
+        """
+    )
+    system.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+    system.declare_answer_relation("HotelReservation", ["traveler", "hid"], ["TEXT", "INTEGER"])
+    return system
+
+
+@pytest.fixture
+def admin(system) -> AdminInterface:
+    return AdminInterface(system)
+
+
+class TestPendingInspection:
+    def test_describe_query_shows_ir_and_analysis(self, system, admin):
+        request = system.execute(KRAMER_SQL, owner="Kramer")
+        text = admin.describe_query(request.query_id)
+        assert "Reservation('Kramer', fno)" in text
+        assert "status       : pending" in text
+        assert "safe         : True" in text
+
+    def test_describe_answered_query_includes_group(self, system, admin):
+        kramer = system.execute(KRAMER_SQL, owner="Kramer")
+        system.execute(JERRY_SQL, owner="Jerry")
+        text = admin.describe_query(kramer.query_id)
+        assert "status       : answered" in text
+        assert "group" in text
+
+    def test_pending_queries_listing(self, system, admin):
+        system.execute(KRAMER_SQL, owner="Kramer")
+        assert len(admin.pending_queries()) == 1
+
+
+class TestMatchGraph:
+    def test_edge_between_compatible_pending_queries(self, system, admin):
+        system.execute(KRAMER_SQL, owner="Kramer")
+        system.execute(ELAINE_SQL, owner="Elaine")
+        # Kramer (flight) and Elaine (hotel) cannot provide for each other
+        assert admin.match_graph() == []
+        assert "no potential matches" in admin.match_graph_text()
+
+    def test_edge_for_matching_relations_but_failed_grounding(self, system, admin):
+        # Different destinations: structurally compatible, no common flight.
+        system.execute(KRAMER_SQL.replace("'Paris'", "'Rome'"), owner="Kramer")
+        system.execute(JERRY_SQL, owner="Jerry")
+        edges = admin.match_graph()
+        assert len(edges) == 1
+        assert edges[0].relations == ("Reservation",)
+        assert "<->" in admin.match_graph_text()
+
+
+class TestStateDump:
+    def test_render_state_contains_all_sections(self, system, admin):
+        system.execute(KRAMER_SQL, owner="Kramer")
+        system.execute(JERRY_SQL, owner="Jerry")
+        text = admin.render_state()
+        assert "== Youtopia system state ==" in text
+        assert "Flights: 2 rows" in text
+        assert "Reservation: 2 tuples" in text
+        assert "queries_answered = 2" in text
+
+    def test_answer_relation_text(self, system, admin):
+        system.execute(KRAMER_SQL, owner="Kramer")
+        system.execute(JERRY_SQL, owner="Jerry")
+        text = admin.answer_relation_text("Reservation")
+        assert "traveler" in text and "(2 rows)" in text
+
+    def test_event_log_text(self, system, admin):
+        system.execute(KRAMER_SQL, owner="Kramer")
+        log = admin.event_log_text()
+        assert "query_registered" in log
+        assert len(admin.event_log(limit=1)) == 1
+
+    def test_statistics_and_table_statistics(self, system, admin):
+        system.execute(KRAMER_SQL, owner="Kramer")
+        assert admin.statistics()["queries_registered"] == 1
+        assert admin.table_statistics()["Flights"] == 2
+
+    def test_explain_passthrough(self, admin):
+        plan = admin.explain("SELECT fno FROM Flights WHERE dest = 'Paris'")
+        assert "IndexLookup" in plan or "Filter" in plan

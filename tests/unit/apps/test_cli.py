@@ -1,0 +1,141 @@
+"""Unit tests for the SQL command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.cli import CommandLine, format_result_table
+from repro.core.system import YoutopiaSystem
+
+
+@pytest.fixture
+def shell() -> CommandLine:
+    shell = CommandLine(YoutopiaSystem(seed=0))
+    shell.run_line("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
+    shell.run_line("INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (136, 'Rome')")
+    return shell
+
+
+KRAMER_SQL = (
+    "SELECT 'Kramer', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+    "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1"
+)
+JERRY_SQL = (
+    "SELECT 'Jerry', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+    "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1"
+)
+
+
+class TestFormatting:
+    def test_format_result_table_alignment_and_count(self):
+        text = format_result_table(["fno", "dest"], [(122, "Paris"), (136, None)])
+        lines = text.splitlines()
+        assert lines[0].startswith("fno")
+        assert "(2 rows)" in lines[-1]
+        assert "Paris" in text
+        # NULLs render as empty cells
+        assert lines[3].split("|")[1].strip() == ""
+
+    def test_format_empty_result(self):
+        assert "(0 rows)" in format_result_table(["a"], [])
+
+
+class TestPlainSQL:
+    def test_select_renders_table(self, shell):
+        output = shell.run_line("SELECT fno FROM Flights WHERE dest = 'Rome'")
+        assert "136" in output and "(1 row)" in output
+
+    def test_dml_reports_affected_rows(self, shell):
+        assert "1 row(s) affected" in shell.run_line("DELETE FROM Flights WHERE fno = 136")
+
+    def test_ddl_reports_ok(self, shell):
+        assert "ok" in shell.run_line("CREATE TABLE Hotels (hid INT)")
+
+    def test_errors_are_reported_not_raised(self, shell):
+        assert shell.run_line("SELECT * FROM Nowhere").startswith("error:")
+        assert shell.run_line("SELEC typo").startswith("error:")
+
+    def test_empty_line_is_silent(self, shell):
+        assert shell.run_line("   ") == ""
+
+    def test_multiple_statements_per_line(self, shell):
+        output = shell.run_line("SELECT 1; SELECT 2")
+        assert output.count("(1 row)") == 2
+
+
+class TestEntangledQueries:
+    def test_pending_then_answered(self, shell):
+        first = shell.run_line(KRAMER_SQL)
+        assert "PENDING" in first
+        second = shell.run_line(JERRY_SQL)
+        assert "ANSWERED" in second
+        answers = shell.run_line(".answers Reservation")
+        assert "(2 rows)" in answers
+
+    def test_pending_listing_and_cancel(self, shell):
+        shell.run_line(KRAMER_SQL)
+        pending = shell.run_line(".pending")
+        assert "Reservation" in pending
+        query_id = pending.split()[0]
+        assert "cancelled" in shell.run_line(f".cancel {query_id}")
+        assert "(no pending entangled queries)" in shell.run_line(".pending")
+
+    def test_user_command_sets_owner(self, shell):
+        shell.run_line(".user Kramer")
+        shell.run_line(KRAMER_SQL)
+        requests = shell.run_line(".requests")
+        assert "[Kramer]" in requests
+
+    def test_retry_command(self, shell):
+        assert "0 newly answered" in shell.run_line(".retry")
+
+
+class TestDotCommands:
+    def test_tables_and_schema(self, shell):
+        tables = shell.run_line(".tables")
+        assert "Flights" in tables and "_pending_queries" in tables
+        schema = shell.run_line(".schema Flights")
+        assert "fno INTEGER" in schema and "PRIMARY KEY (fno)" in schema
+
+    def test_stats(self, shell):
+        shell.run_line(KRAMER_SQL)
+        stats = shell.run_line(".stats")
+        assert "queries_registered = 1" in stats
+
+    def test_help_quit_unknown(self, shell):
+        assert "Dot-commands" in shell.run_line(".help")
+        assert "unknown command" in shell.run_line(".frobnicate")
+        assert shell.run_line(".quit") == "bye"
+        assert shell.done
+
+    def test_usage_messages(self, shell):
+        assert "usage" in shell.run_line(".schema")
+        assert "usage" in shell.run_line(".answers")
+        assert "usage" in shell.run_line(".cancel")
+        assert "usage" in shell.run_line(".describe")
+        assert "usage" in shell.run_line(".explain")
+
+    def test_describe_and_graph(self, shell):
+        shell.run_line(".user Kramer")
+        shell.run_line(KRAMER_SQL)
+        pending = shell.run_line(".pending")
+        query_id = pending.split()[0]
+        described = shell.run_line(f".describe {query_id}")
+        assert "Reservation('Kramer', fno)" in described
+        assert "safe         : True" in described
+        assert "no potential matches" in shell.run_line(".graph")
+        # a structurally compatible partner (wrong destination) creates an edge
+        shell.run_line(".user Jerry")
+        shell.run_line(JERRY_SQL.replace("'Paris'", "'Atlantis'"))
+        assert "<->" in shell.run_line(".graph")
+
+    def test_explain_command(self, shell):
+        plan = shell.run_line(".explain SELECT fno FROM Flights WHERE dest = 'Paris'")
+        assert "IndexLookup" in plan or "Filter" in plan
+        assert "error" in shell.run_line(".explain SELEC nonsense")
+
+    def test_run_script_returns_one_output_per_line(self, shell):
+        outputs = shell.run_script(["SELECT 1", ".tables"])
+        assert len(outputs) == 2

@@ -1,0 +1,98 @@
+"""Unit tests for the answer-relation registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.answer import AnswerRelationRegistry
+from repro.errors import EntanglementError
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def registry() -> AnswerRelationRegistry:
+    return AnswerRelationRegistry(Database())
+
+
+class TestDeclaration:
+    def test_declare_with_columns_and_types(self, registry):
+        spec = registry.declare("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+        assert spec.arity == 2
+        assert registry.is_declared("reservation")
+        schema = registry._database.schema("Reservation")
+        assert schema.column_names == ("traveler", "fno")
+
+    def test_declare_by_arity_uses_generic_columns(self, registry):
+        spec = registry.declare("Chosen", arity=3)
+        assert spec.column_names == ("a1", "a2", "a3")
+
+    def test_declare_requires_columns_or_arity(self, registry):
+        with pytest.raises(EntanglementError):
+            registry.declare("Broken")
+
+    def test_redeclare_with_same_arity_is_noop(self, registry):
+        first = registry.declare("R", arity=2)
+        second = registry.declare("R", ["x", "y"])
+        assert second is first
+
+    def test_redeclare_with_different_arity_rejected(self, registry):
+        registry.declare("R", arity=2)
+        with pytest.raises(EntanglementError):
+            registry.declare("R", arity=3)
+
+    def test_types_length_must_match_columns(self, registry):
+        with pytest.raises(EntanglementError):
+            registry.declare("R", ["a", "b"], ["TEXT"])
+
+    def test_existing_table_can_be_adopted(self, registry):
+        database = registry._database
+        database.create_table(name="Legacy", columns=[("who", "TEXT"), ("what", "INT")])
+        spec = registry.declare("Legacy", arity=2)
+        assert spec.column_names == ("who", "what")
+
+    def test_existing_table_with_wrong_arity_rejected(self, registry):
+        registry._database.create_table(name="Legacy", columns=[("who", "TEXT")])
+        with pytest.raises(EntanglementError):
+            registry.declare("Legacy", arity=2)
+
+    def test_ensure_auto_declares_and_checks_arity(self, registry):
+        registry.ensure("Auto", 2)
+        assert registry.spec("Auto").arity == 2
+        with pytest.raises(EntanglementError):
+            registry.ensure("Auto", 3)
+
+    def test_names_sorted(self, registry):
+        registry.declare("Zeta", arity=1)
+        registry.declare("Alpha", arity=1)
+        assert registry.names() == ["Alpha", "Zeta"]
+
+
+class TestContents:
+    def test_insert_and_read_tuples(self, registry):
+        registry.declare("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+        registry.insert("Reservation", ("Jerry", 122))
+        registry.insert("Reservation", ("Kramer", 122))
+        assert registry.tuples("Reservation") == [("Jerry", 122), ("Kramer", 122)]
+        assert registry.contains("Reservation", ("Jerry", 122))
+        assert not registry.contains("Reservation", ("Jerry", 999))
+
+    def test_insert_wrong_arity_rejected(self, registry):
+        registry.declare("R", arity=2)
+        with pytest.raises(EntanglementError):
+            registry.insert("R", (1,))
+
+    def test_unknown_relation_rejected(self, registry):
+        with pytest.raises(EntanglementError):
+            registry.tuples("Nothing")
+
+    def test_clear(self, registry):
+        registry.declare("R", arity=1)
+        registry.insert("R", (1,))
+        registry.clear("R")
+        assert registry.tuples("R") == []
+
+    def test_generic_columns_accept_mixed_types(self, registry):
+        registry.declare("Mixed", arity=2)
+        registry.insert("Mixed", ("text", 42))
+        registry.insert("Mixed", (3.5, True))
+        assert len(registry.tuples("Mixed")) == 2

@@ -1,0 +1,197 @@
+"""Unit tests for the coordination component (pending pool, retries, waiting)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.coordinator import PENDING_TABLE, QueryStatus
+from repro.core.events import EventType
+from repro.core.system import YoutopiaSystem
+from repro.errors import (
+    CoordinationTimeoutError,
+    EntanglementError,
+    QueryNotPendingError,
+    SafetyError,
+)
+
+KRAMER_SQL = (
+    "SELECT 'Kramer', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+    "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1"
+)
+JERRY_SQL = (
+    "SELECT 'Jerry', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+    "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1"
+)
+
+
+@pytest.fixture
+def system() -> YoutopiaSystem:
+    system = YoutopiaSystem(seed=0)
+    system.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
+    system.execute(
+        "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (136, 'Rome')"
+    )
+    system.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+    return system
+
+
+class TestSubmission:
+    def test_first_query_stays_pending(self, system):
+        request = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        assert request.status is QueryStatus.PENDING
+        assert system.coordinator.pending_count() == 1
+        assert not request.is_answered
+
+    def test_matching_pair_is_answered_jointly(self, system):
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        jerry = system.submit_entangled(JERRY_SQL, owner="Jerry")
+        assert kramer.status is QueryStatus.ANSWERED
+        assert jerry.status is QueryStatus.ANSWERED
+        assert set(kramer.group_query_ids) == {kramer.query_id, jerry.query_id}
+        assert system.coordinator.pending_count() == 0
+        fnos = {fno for _traveler, fno in system.answers("Reservation")}
+        assert len(fnos) == 1
+
+    def test_unsafe_query_is_rejected(self, system):
+        with pytest.raises(SafetyError):
+            system.submit_entangled(
+                "SELECT 'K', fno INTO ANSWER Reservation WHERE ('J', fno) IN ANSWER Reservation"
+            )
+        assert system.statistics()["queries_rejected"] == 1
+
+    def test_duplicate_query_id_rejected(self, system):
+        query = system.compile(KRAMER_SQL, owner="Kramer")
+        system.submit_entangled(query)
+        with pytest.raises(EntanglementError):
+            system.submit_entangled(query)
+
+    def test_owner_attached_to_compiled_queries(self, system):
+        query = system.compile(KRAMER_SQL)
+        request = system.coordinator.submit(query, owner="Kramer")
+        assert request.owner == "Kramer"
+
+    def test_pending_table_mirrors_status(self, system):
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        rows = system.query(f"SELECT query_id, status FROM {PENDING_TABLE}").rows
+        assert (kramer.query_id, "pending") in rows
+        system.submit_entangled(JERRY_SQL, owner="Jerry")
+        rows = dict(system.query(f"SELECT query_id, status FROM {PENDING_TABLE}").rows)
+        assert rows[kramer.query_id] == "answered"
+
+
+class TestWaitAndCancel:
+    def test_wait_returns_answer_from_other_thread(self, system):
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+
+        def later():
+            system.submit_entangled(JERRY_SQL, owner="Jerry")
+
+        thread = threading.Thread(target=later)
+        thread.start()
+        answer = system.wait(kramer.query_id, timeout=5.0)
+        thread.join()
+        assert answer.tuples["Reservation"][0][0] == "Kramer"
+
+    def test_wait_timeout(self, system):
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        with pytest.raises(CoordinationTimeoutError):
+            system.wait(kramer.query_id, timeout=0.05)
+        assert system.statistics()["queries_timed_out"] == 1
+        # the query is still pending (not rejected) after the timeout
+        assert system.status(kramer.query_id) is QueryStatus.PENDING
+
+    def test_wait_unknown_query(self, system):
+        with pytest.raises(QueryNotPendingError):
+            system.wait("does-not-exist", timeout=0.01)
+
+    def test_cancel_removes_from_pool(self, system):
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        system.cancel(kramer.query_id)
+        assert system.status(kramer.query_id) is QueryStatus.CANCELLED
+        assert system.coordinator.pending_count() == 0
+        # the partner can no longer match
+        jerry = system.submit_entangled(JERRY_SQL, owner="Jerry")
+        assert jerry.status is QueryStatus.PENDING
+
+    def test_cancel_twice_rejected(self, system):
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        system.cancel(kramer.query_id)
+        with pytest.raises(QueryNotPendingError):
+            system.cancel(kramer.query_id)
+
+    def test_wait_on_cancelled_query_raises(self, system):
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        system.cancel(kramer.query_id)
+        with pytest.raises(EntanglementError):
+            system.wait(kramer.query_id, timeout=0.01)
+
+
+class TestRetry:
+    def test_retry_after_data_change(self):
+        system = YoutopiaSystem(seed=0)
+        system.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
+        system.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        jerry = system.submit_entangled(JERRY_SQL, owner="Jerry")
+        # no Paris flights yet: both wait
+        assert kramer.status is QueryStatus.PENDING and jerry.status is QueryStatus.PENDING
+        system.execute("INSERT INTO Flights VALUES (122, 'Paris')")
+        answered = system.retry_pending()
+        assert answered == 2
+        assert kramer.status is QueryStatus.ANSWERED and jerry.status is QueryStatus.ANSWERED
+
+    def test_auto_retry_on_data_change(self):
+        system = YoutopiaSystem(seed=0, auto_retry_on_data_change=True)
+        system.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
+        system.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        jerry = system.submit_entangled(JERRY_SQL, owner="Jerry")
+        assert jerry.status is QueryStatus.PENDING
+        system.execute("INSERT INTO Flights VALUES (122, 'Paris')")
+        # the retry happens on the next submission (arrival-driven, as in the paper)
+        noise = system.submit_entangled(
+            "SELECT 'Elaine', fno INTO ANSWER Reservation "
+            "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Nowhere') "
+            "AND ('George', fno) IN ANSWER Reservation",
+            owner="Elaine",
+        )
+        assert noise.status is QueryStatus.PENDING
+        assert kramer.status is QueryStatus.ANSWERED
+        assert jerry.status is QueryStatus.ANSWERED
+
+
+class TestEventsAndStatistics:
+    def test_lifecycle_events_emitted(self, system):
+        events = []
+        system.subscribe(lambda event: events.append(event.type))
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        system.submit_entangled(JERRY_SQL, owner="Jerry")
+        system.cancel_safe = None  # noqa: B010 - just to keep lints quiet about unused var
+        assert EventType.QUERY_REGISTERED in events
+        assert EventType.MATCH_ATTEMPTED in events
+        assert EventType.GROUP_MATCHED in events
+        assert EventType.QUERY_ANSWERED in events
+        answered_events = system.events.history(EventType.QUERY_ANSWERED)
+        assert {event.payload["owner"] for event in answered_events} == {"Kramer", "Jerry"}
+        assert kramer.query_id in {event.query_id for event in answered_events}
+
+    def test_statistics_track_matches(self, system):
+        system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        system.submit_entangled(JERRY_SQL, owner="Jerry")
+        stats = system.statistics()
+        assert stats["queries_registered"] == 2
+        assert stats["queries_answered"] == 2
+        assert stats["groups_matched"] == 1
+        assert stats["match_attempts"] == 2
+        assert stats["failed_match_attempts"] == 1
+        assert stats["transactions_committed"] == 1
+
+    def test_requests_listing(self, system):
+        system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        requests = system.coordinator.requests()
+        assert len(requests) == 1 and requests[0].owner == "Kramer"
+        assert system.coordinator.provider_index_size() == 1

@@ -1,0 +1,58 @@
+"""Unit tests for the event bus."""
+
+from __future__ import annotations
+
+from repro.core.events import Event, EventBus, EventType
+
+
+class TestEventBus:
+    def test_publish_reaches_wildcard_subscribers(self):
+        bus = EventBus()
+        received: list[Event] = []
+        bus.subscribe(received.append)
+        bus.publish(EventType.QUERY_REGISTERED, query_id="q1")
+        assert len(received) == 1
+        assert received[0].query_id == "q1"
+
+    def test_type_filtered_subscription(self):
+        bus = EventBus()
+        answered: list[Event] = []
+        bus.subscribe(answered.append, EventType.QUERY_ANSWERED)
+        bus.publish(EventType.QUERY_REGISTERED, query_id="q1")
+        bus.publish(EventType.QUERY_ANSWERED, query_id="q1")
+        assert [event.type for event in answered] == [EventType.QUERY_ANSWERED]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        received: list[Event] = []
+        bus.subscribe(received.append)
+        bus.unsubscribe(received.append)
+        bus.publish(EventType.QUERY_REGISTERED, query_id="q1")
+        assert received == []
+
+    def test_history_and_filtering(self):
+        bus = EventBus()
+        bus.publish(EventType.QUERY_REGISTERED, query_id="q1")
+        bus.publish(EventType.QUERY_ANSWERED, query_id="q1")
+        assert len(bus.history()) == 2
+        assert len(bus.history(EventType.QUERY_ANSWERED)) == 1
+        bus.clear_history()
+        assert bus.history() == []
+
+    def test_history_is_bounded(self):
+        bus = EventBus(history_limit=5)
+        for index in range(12):
+            bus.publish(EventType.MATCH_ATTEMPTED, query_id=f"q{index}")
+        history = bus.history()
+        assert len(history) == 5
+        assert history[-1].payload["query_id"] == "q11"
+
+    def test_sequence_numbers_increase(self):
+        bus = EventBus()
+        first = bus.publish(EventType.QUERY_REGISTERED)
+        second = bus.publish(EventType.QUERY_REGISTERED)
+        assert second.sequence > first.sequence
+
+    def test_event_without_query_id_payload(self):
+        event = Event(type=EventType.MATCH_ATTEMPTED, payload={"pool_size": 3})
+        assert event.query_id is None

@@ -1,0 +1,89 @@
+"""Unit tests for the entangled-query intermediate representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ir
+from repro.core.compiler import EntangledQueryBuilder, var
+
+
+@pytest.fixture
+def kramer() -> ir.EntangledQuery:
+    return (
+        EntangledQueryBuilder(owner="Kramer")
+        .head("Reservation", "Kramer", var("fno"))
+        .domain("fno", "SELECT fno FROM Flights WHERE dest = 'Paris'")
+        .require("Reservation", "Jerry", var("fno"))
+        .predicate("fno > 100")
+        .build(query_id="kramer-1")
+    )
+
+
+class TestTermsAndAtoms:
+    def test_constant_and_variable(self):
+        constant = ir.Constant("Paris")
+        variable = ir.Variable("fno")
+        assert ir.is_ground(constant)
+        assert not ir.is_ground(variable)
+        assert str(variable) == "fno"
+
+    def test_atom_introspection(self):
+        atom = ir.Atom("Reservation", (ir.Constant("Kramer"), ir.Variable("fno")))
+        assert atom.arity == 2
+        assert [v.name for v in atom.variables()] == ["fno"]
+        assert atom.constants() == ((0, "Kramer"),)
+        assert str(atom) == "Reservation('Kramer', fno)"
+
+    def test_atom_substitute(self):
+        atom = ir.Atom("R", (ir.Constant("K"), ir.Variable("fno")))
+        assert atom.substitute({"fno": 122}) == ("K", 122)
+        with pytest.raises(KeyError):
+            atom.substitute({})
+
+
+class TestEntangledQuery:
+    def test_variable_sets(self, kramer):
+        assert kramer.variables() == {"fno"}
+        assert kramer.head_variables() == {"fno"}
+        assert kramer.answer_variables() == {"fno"}
+        assert kramer.domain_variables() == {"fno"}
+
+    def test_answer_relations(self, kramer):
+        assert kramer.answer_relations() == {"Reservation"}
+
+    def test_self_contained(self, kramer):
+        assert not kramer.is_self_contained()
+        solo = (
+            EntangledQueryBuilder()
+            .head("Reservation", "X", var("fno"))
+            .domain("fno", "SELECT fno FROM Flights")
+            .build()
+        )
+        assert solo.is_self_contained()
+
+    def test_heads_for_relation_is_case_insensitive(self, kramer):
+        matches = list(kramer.heads_for_relation("reservation"))
+        assert len(matches) == 1 and matches[0][0] == 0
+
+    def test_describe_mentions_all_parts(self, kramer):
+        text = kramer.describe()
+        assert "Reservation('Kramer', fno)" in text
+        assert "IN (" in text
+        assert "CHOOSE 1" in text
+
+    def test_query_ids_are_unique(self):
+        first = ir.next_query_id()
+        second = ir.next_query_id()
+        assert first != second
+
+
+class TestGroundAnswer:
+    def test_all_tuples_sorted_by_relation(self):
+        answer = ir.GroundAnswer(
+            query_id="q",
+            binding={"fno": 122},
+            tuples={"Reservation": (("K", 122),), "HotelReservation": (("K", 7),)},
+        )
+        pairs = answer.all_tuples()
+        assert pairs == [("HotelReservation", ("K", 7)), ("Reservation", ("K", 122))]

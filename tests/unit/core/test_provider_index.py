@@ -1,0 +1,96 @@
+"""Unit tests for the provider index over pending queries' head atoms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ir
+from repro.core.compiler import EntangledQueryBuilder, var
+from repro.core.matching import Provider, ProviderIndex
+
+
+def make_query(query_id: str, traveler: str, relation: str = "Reservation"):
+    return (
+        EntangledQueryBuilder(owner=traveler)
+        .head(relation, traveler, var("fno"))
+        .domain("fno", "SELECT fno FROM Flights")
+        .build(query_id=query_id)
+    )
+
+
+@pytest.fixture
+def index() -> ProviderIndex:
+    index = ProviderIndex()
+    index.add_query(make_query("q1", "Jerry"))
+    index.add_query(make_query("q2", "Kramer"))
+    index.add_query(make_query("q3", "Elaine", relation="HotelReservation"))
+    return index
+
+
+def atom(relation: str, *terms):
+    converted = tuple(
+        term if isinstance(term, (ir.Constant, ir.Variable)) else ir.Constant(term)
+        for term in terms
+    )
+    return ir.Atom(relation, converted)
+
+
+class TestCandidates:
+    def test_constant_position_narrows_candidates(self, index):
+        candidates = index.candidates(atom("Reservation", "Jerry", ir.Variable("fno")))
+        assert candidates == {Provider("q1", 0)}
+
+    def test_variable_position_matches_all(self, index):
+        candidates = index.candidates(atom("Reservation", ir.Variable("who"), ir.Variable("fno")))
+        assert {provider.query_id for provider in candidates} == {"q1", "q2"}
+
+    def test_relation_name_is_case_insensitive(self, index):
+        candidates = index.candidates(atom("reservation", "Kramer", ir.Variable("fno")))
+        assert candidates == {Provider("q2", 0)}
+
+    def test_arity_mismatch_yields_nothing(self, index):
+        assert index.candidates(atom("Reservation", "Jerry")) == set()
+
+    def test_unknown_relation_yields_nothing(self, index):
+        assert index.candidates(atom("SeatBlock", "Jerry", 1, 2)) == set()
+
+    def test_unknown_constant_yields_nothing(self, index):
+        assert index.candidates(atom("Reservation", "George", ir.Variable("fno"))) == set()
+
+    def test_naive_mode_ignores_constants(self):
+        naive = ProviderIndex(use_constant_index=False)
+        naive.add_query(make_query("q1", "Jerry"))
+        naive.add_query(make_query("q2", "Kramer"))
+        candidates = naive.candidates(atom("Reservation", "Jerry", ir.Variable("fno")))
+        assert {provider.query_id for provider in candidates} == {"q1", "q2"}
+
+
+class TestMaintenance:
+    def test_remove_query(self, index):
+        index.remove_query(make_query("q1", "Jerry"))
+        assert index.candidates(atom("Reservation", "Jerry", ir.Variable("fno"))) == set()
+        assert len(index) == 2
+
+    def test_multi_head_queries_register_every_head(self):
+        index = ProviderIndex()
+        query = (
+            EntangledQueryBuilder(owner="Jerry")
+            .head("Reservation", "Jerry", var("fno"))
+            .head("HotelReservation", "Jerry", var("hid"))
+            .domain("fno", "SELECT fno FROM Flights")
+            .domain("hid", "SELECT hid FROM Hotels")
+            .build(query_id="multi")
+        )
+        index.add_query(query)
+        assert len(index) == 2
+        assert index.candidates(atom("HotelReservation", "Jerry", ir.Variable("hid"))) == {
+            Provider("multi", 1)
+        }
+        assert index.atom_of(Provider("multi", 0)).relation == "Reservation"
+
+    def test_constant_heads_still_require_exact_match(self):
+        index = ProviderIndex()
+        query = EntangledQueryBuilder().head("Ping", "hello", 1).build(query_id="p")
+        index.add_query(query)
+        assert index.candidates(atom("Ping", "hello", 1)) == {Provider("p", 0)}
+        assert index.candidates(atom("Ping", "hello", 2)) == set()

@@ -1,0 +1,121 @@
+"""Unit tests for the safety / uniqueness (origin) static analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import EntangledQueryBuilder, var
+from repro.core.safety import analyze, check, mutual_match_possible
+from repro.errors import SafetyError, UniquenessError
+
+
+def safe_query(owner="Kramer", partner="Jerry"):
+    return (
+        EntangledQueryBuilder(owner=owner)
+        .head("Reservation", owner, var("fno"))
+        .domain("fno", "SELECT fno FROM Flights WHERE dest = 'Paris'")
+        .require("Reservation", partner, var("fno"))
+        .build()
+    )
+
+
+class TestSafety:
+    def test_paper_query_is_safe_and_unique(self):
+        report = analyze(safe_query())
+        assert report.safe and report.unique and report.admissible
+        assert check(safe_query()).admissible
+
+    def test_head_variable_without_domain_is_unsafe(self):
+        query = (
+            EntangledQueryBuilder()
+            .head("Reservation", "Kramer", var("fno"))
+            .require("Reservation", "Jerry", var("fno"))
+            .build()
+        )
+        report = analyze(query)
+        assert not report.safe
+        assert report.unsafe_variables == ("fno",)
+        with pytest.raises(SafetyError):
+            check(query)
+
+    def test_predicate_variable_without_domain_is_unsafe(self):
+        query = (
+            EntangledQueryBuilder()
+            .head("R", "K", var("x"))
+            .domain("x", "SELECT a FROM T")
+            .predicate("y > 3")
+            .build()
+        )
+        assert analyze(query).unsafe_variables == ("y",)
+
+    def test_fully_constant_query_is_safe(self):
+        query = EntangledQueryBuilder().head("Ping", "hello").build()
+        report = analyze(query)
+        assert report.safe and report.unique
+
+    def test_answer_variable_not_determined_violates_origin(self):
+        # 'other' appears only in the answer constraint: the query cannot say
+        # which concrete tuple it is waiting for.
+        query = (
+            EntangledQueryBuilder()
+            .head("R", "K", var("x"))
+            .domain("x", "SELECT a FROM T")
+            .require("R", var("other"), var("x"))
+            .build()
+        )
+        report = analyze(query)
+        assert report.safe is False or report.unique is False
+        with pytest.raises((SafetyError, UniquenessError)):
+            check(query)
+
+    def test_warning_for_constant_head_with_constraints(self):
+        query = (
+            EntangledQueryBuilder()
+            .head("R", "K", 1)
+            .domain("x", "SELECT a FROM T")
+            .require("R", "J", var("x"))
+            .build()
+        )
+        report = analyze(query)
+        assert any("fully constant" in warning for warning in report.warnings)
+
+    def test_warning_for_doubly_constrained_variable(self):
+        query = (
+            EntangledQueryBuilder()
+            .head("R", "K", var("x"))
+            .domain("x", "SELECT a FROM T")
+            .domain("x", "SELECT b FROM S")
+            .build()
+        )
+        report = analyze(query)
+        assert any("more than one domain" in warning for warning in report.warnings)
+
+
+class TestMutualMatchPossible:
+    def test_symmetric_pair_is_possible(self):
+        assert mutual_match_possible(safe_query("Kramer", "Jerry"), safe_query("Jerry", "Kramer"))
+
+    def test_missing_provider_relation_is_impossible(self):
+        needs_hotel = (
+            EntangledQueryBuilder()
+            .head("Reservation", "A", var("fno"))
+            .domain("fno", "SELECT fno FROM Flights")
+            .require("HotelReservation", "B", var("hid"))
+            .domain("hid", "SELECT hid FROM Hotels")
+            .build()
+        )
+        assert not mutual_match_possible(needs_hotel, safe_query("B", "A"))
+
+    def test_arity_mismatch_is_impossible(self):
+        # This query *requires* a 3-ary Reservation tuple, but neither query
+        # has a 3-ary Reservation head to provide it.
+        wide = (
+            EntangledQueryBuilder()
+            .head("Reservation", "A", var("fno"))
+            .domain("fno", "SELECT fno FROM Flights")
+            .domain("seat", "SELECT seat FROM Seats")
+            .require("Reservation", "B", var("fno"), var("seat"))
+            .build()
+        )
+        narrow = safe_query("B", "A")
+        assert not mutual_match_possible(wide, narrow)

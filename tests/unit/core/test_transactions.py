@@ -1,0 +1,99 @@
+"""Unit tests for the snapshot-based transaction manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transactions import TransactionManager
+from repro.errors import TransactionError
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def database() -> Database:
+    database = Database()
+    database.create_table(name="T", columns=[("a", "INT")])
+    database.insert("T", (1,))
+    return database
+
+
+@pytest.fixture
+def transactions(database: Database) -> TransactionManager:
+    return TransactionManager(database)
+
+
+class TestExplicitAPI:
+    def test_commit_keeps_changes(self, database, transactions):
+        transactions.begin()
+        database.insert("T", (2,))
+        transactions.commit()
+        assert len(database.table("T")) == 2
+        assert transactions.commits == 1
+
+    def test_rollback_restores_snapshot(self, database, transactions):
+        transactions.begin()
+        database.insert("T", (2,))
+        database.delete_where("T", lambda row: row["a"] == 1)
+        transactions.rollback()
+        assert [row["a"] for row in database.table("T").scan()] == [1]
+        assert transactions.rollbacks == 1
+
+    def test_commit_without_begin_rejected(self, transactions):
+        with pytest.raises(TransactionError):
+            transactions.commit()
+        with pytest.raises(TransactionError):
+            transactions.rollback()
+
+    def test_in_transaction_flag(self, transactions):
+        assert not transactions.in_transaction
+        transactions.begin()
+        assert transactions.in_transaction
+        transactions.commit()
+        assert not transactions.in_transaction
+
+
+class TestNesting:
+    def test_nested_commits_count_once(self, database, transactions):
+        transactions.begin()
+        transactions.begin()
+        database.insert("T", (2,))
+        transactions.commit()
+        transactions.commit()
+        assert transactions.commits == 1
+        assert len(database.table("T")) == 2
+
+    def test_inner_rollback_aborts_outer(self, database, transactions):
+        transactions.begin()
+        database.insert("T", (2,))
+        transactions.begin()
+        database.insert("T", (3,))
+        transactions.rollback()
+        transactions.commit()
+        # everything since the outermost begin is gone, and the whole
+        # transaction is counted as a rollback rather than a commit
+        assert [row["a"] for row in database.table("T").scan()] == [1]
+        assert transactions.commits == 0
+        assert transactions.rollbacks == 1
+
+
+class TestAtomicContextManager:
+    def test_atomic_commits_on_success(self, database, transactions):
+        with transactions.atomic():
+            database.insert("T", (5,))
+        assert len(database.table("T")) == 2
+
+    def test_atomic_rolls_back_on_exception(self, database, transactions):
+        with pytest.raises(RuntimeError):
+            with transactions.atomic():
+                database.insert("T", (5,))
+                raise RuntimeError("boom")
+        assert len(database.table("T")) == 1
+        assert transactions.rollbacks == 1
+
+    def test_atomic_can_be_nested(self, database, transactions):
+        with transactions.atomic():
+            database.insert("T", (2,))
+            with transactions.atomic():
+                database.insert("T", (3,))
+        assert len(database.table("T")) == 3
+        assert transactions.commits == 1

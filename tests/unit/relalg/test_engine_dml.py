@@ -1,0 +1,102 @@
+"""Unit tests for DDL and DML execution through the query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolationError,
+    DuplicateTableError,
+    EvaluationError,
+    PlanError,
+)
+from repro.relalg.engine import QueryEngine
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def engine() -> QueryEngine:
+    engine = QueryEngine(Database())
+    engine.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT, price REAL)")
+    return engine
+
+
+class TestCreateTable:
+    def test_create_and_describe(self, engine):
+        schema = engine.database.schema("Flights")
+        assert schema.column_names == ("fno", "dest", "price")
+        assert schema.primary_key == ("fno",)
+
+    def test_duplicate_create_rejected(self, engine):
+        with pytest.raises(DuplicateTableError):
+            engine.execute("CREATE TABLE Flights (x INT)")
+        engine.execute("CREATE TABLE IF NOT EXISTS Flights (x INT)")
+
+    def test_drop_table(self, engine):
+        engine.execute("DROP TABLE Flights")
+        assert not engine.database.has_table("Flights")
+
+    def test_not_null_enforced(self, engine):
+        engine.execute("CREATE TABLE Strict (a INT NOT NULL)")
+        from repro.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            engine.execute("INSERT INTO Strict VALUES (NULL)")
+
+
+class TestInsert:
+    def test_positional_insert(self, engine):
+        result = engine.execute("INSERT INTO Flights VALUES (122, 'Paris', 450.0), (123, 'Rome', 300.0)")
+        assert result.affected == 2
+        assert len(engine.database.table("Flights")) == 2
+
+    def test_column_list_insert_fills_missing_with_null(self, engine):
+        engine.execute("INSERT INTO Flights (fno, dest) VALUES (7, 'Athens')")
+        assert engine.query("SELECT price FROM Flights WHERE fno = 7").scalar() is None
+
+    def test_insert_evaluates_expressions(self, engine):
+        engine.execute("INSERT INTO Flights VALUES (10 + 1, UPPER('paris'), 2 * 100.0)")
+        assert engine.query("SELECT dest FROM Flights WHERE fno = 11").scalar() == "PARIS"
+
+    def test_arity_mismatch_rejected(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.execute("INSERT INTO Flights VALUES (1, 'Paris')")
+        with pytest.raises(EvaluationError):
+            engine.execute("INSERT INTO Flights (fno, dest) VALUES (1)")
+
+    def test_primary_key_violation(self, engine):
+        engine.execute("INSERT INTO Flights VALUES (122, 'Paris', 450.0)")
+        with pytest.raises(ConstraintViolationError):
+            engine.execute("INSERT INTO Flights VALUES (122, 'Rome', 1.0)")
+
+
+class TestUpdateDelete:
+    @pytest.fixture(autouse=True)
+    def _rows(self, engine):
+        engine.execute(
+            "INSERT INTO Flights VALUES (122, 'Paris', 450.0), (123, 'Paris', 500.0), (136, 'Rome', 300.0)"
+        )
+
+    def test_update_with_expression(self, engine):
+        result = engine.execute("UPDATE Flights SET price = price + 50 WHERE dest = 'Paris'")
+        assert result.affected == 2
+        assert engine.query("SELECT price FROM Flights WHERE fno = 122").scalar() == 500.0
+
+    def test_update_without_where_touches_all(self, engine):
+        assert engine.execute("UPDATE Flights SET price = 0.0").affected == 3
+
+    def test_delete_with_where(self, engine):
+        assert engine.execute("DELETE FROM Flights WHERE dest = 'Rome'").affected == 1
+        assert len(engine.query("SELECT fno FROM Flights")) == 2
+
+    def test_delete_all(self, engine):
+        assert engine.execute("DELETE FROM Flights").affected == 3
+        assert engine.query("SELECT COUNT(*) FROM Flights").scalar() == 0
+
+
+class TestRouting:
+    def test_entangled_query_rejected_by_plain_engine(self, engine):
+        with pytest.raises(PlanError):
+            engine.execute(
+                "SELECT 'K', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1"
+            )

@@ -1,0 +1,177 @@
+"""Unit tests for SELECT execution through the query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError, UnknownTableError
+from repro.relalg.engine import QueryEngine, run_script
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def engine() -> QueryEngine:
+    database = Database()
+    engine = QueryEngine(database)
+    run_script(
+        engine,
+        """
+        CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT, price REAL, airline TEXT);
+        CREATE TABLE Airlines (fno INT PRIMARY KEY, airline TEXT);
+        INSERT INTO Flights VALUES
+            (122, 'Paris', 450.0, 'United'),
+            (123, 'Paris', 500.0, 'United'),
+            (134, 'Paris', 700.0, 'Lufthansa'),
+            (136, 'Rome', 300.0, 'Alitalia');
+        INSERT INTO Airlines VALUES
+            (122, 'United'), (123, 'United'), (134, 'Lufthansa'), (136, 'Alitalia');
+        """,
+    )
+    return engine
+
+
+class TestBasicSelect:
+    def test_projection_and_filter(self, engine):
+        result = engine.query("SELECT fno FROM Flights WHERE dest = 'Paris'")
+        assert result.columns == ["fno"]
+        assert sorted(row[0] for row in result.rows) == [122, 123, 134]
+
+    def test_select_star(self, engine):
+        result = engine.query("SELECT * FROM Flights WHERE fno = 136")
+        assert result.columns == ["fno", "dest", "price", "airline"]
+        assert result.rows == [(136, "Rome", 300.0, "Alitalia")]
+
+    def test_expressions_and_aliases(self, engine):
+        result = engine.query("SELECT fno, price * 2 AS double_price FROM Flights WHERE fno = 122")
+        assert result.columns == ["fno", "double_price"]
+        assert result.rows == [(122, 900.0)]
+
+    def test_order_by_and_limit_offset(self, engine):
+        result = engine.query("SELECT fno FROM Flights ORDER BY price DESC LIMIT 2 OFFSET 1")
+        assert [row[0] for row in result.rows] == [123, 122]
+
+    def test_order_by_ascending_with_ties_is_stable_sorted(self, engine):
+        result = engine.query("SELECT fno FROM Flights ORDER BY airline, fno")
+        assert [row[0] for row in result.rows] == [136, 134, 122, 123]
+
+    def test_distinct(self, engine):
+        result = engine.query("SELECT DISTINCT dest FROM Flights")
+        assert sorted(row[0] for row in result.rows) == ["Paris", "Rome"]
+
+    def test_select_without_from(self, engine):
+        assert engine.query("SELECT 1 + 1").scalar() == 2
+
+    def test_where_false_returns_empty(self, engine):
+        assert engine.query("SELECT fno FROM Flights WHERE 1 = 2").rows == []
+
+    def test_unknown_table_raises(self, engine):
+        with pytest.raises(UnknownTableError):
+            engine.query("SELECT * FROM Hotels")
+
+
+class TestJoins:
+    def test_inner_join(self, engine):
+        result = engine.query(
+            "SELECT f.fno, a.airline FROM Flights f JOIN Airlines a ON f.fno = a.fno "
+            "WHERE f.dest = 'Paris' ORDER BY f.fno"
+        )
+        assert result.rows == [(122, "United"), (123, "United"), (134, "Lufthansa")]
+
+    def test_left_join_produces_nulls(self, engine):
+        engine.execute("INSERT INTO Flights VALUES (200, 'Athens', 100.0, 'Aegean')")
+        result = engine.query(
+            "SELECT f.fno, a.airline FROM Flights f LEFT JOIN Airlines a ON f.fno = a.fno "
+            "WHERE f.fno = 200"
+        )
+        assert result.rows == [(200, None)]
+
+    def test_cross_join_counts(self, engine):
+        result = engine.query("SELECT COUNT(*) FROM Flights CROSS JOIN Airlines")
+        assert result.scalar() == 16
+
+    def test_join_with_table_filter_on_both_sides(self, engine):
+        result = engine.query(
+            "SELECT f.fno FROM Flights f JOIN Airlines a ON f.fno = a.fno "
+            "WHERE a.airline = 'United' AND f.price < 480"
+        )
+        assert [row[0] for row in result.rows] == [122]
+
+
+class TestAggregation:
+    def test_group_by_with_aggregates(self, engine):
+        result = engine.query(
+            "SELECT dest, COUNT(*) AS n, AVG(price) AS avg_price FROM Flights "
+            "GROUP BY dest ORDER BY n DESC"
+        )
+        assert result.rows == [("Paris", 3, 550.0), ("Rome", 1, 300.0)]
+
+    def test_global_aggregates(self, engine):
+        result = engine.query("SELECT COUNT(*), MIN(price), MAX(price), SUM(price) FROM Flights")
+        assert result.rows == [(4, 300.0, 700.0, 1950.0)]
+
+    def test_global_aggregate_on_empty_input(self, engine):
+        result = engine.query("SELECT COUNT(*), SUM(price) FROM Flights WHERE dest = 'Nowhere'")
+        assert result.rows == [(0, None)]
+
+    def test_having_filters_groups(self, engine):
+        result = engine.query(
+            "SELECT dest FROM Flights GROUP BY dest HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [("Paris",)]
+
+    def test_count_distinct(self, engine):
+        assert engine.query("SELECT COUNT(DISTINCT airline) FROM Flights").scalar() == 3
+
+    def test_aggregate_arithmetic(self, engine):
+        result = engine.query("SELECT MAX(price) - MIN(price) FROM Flights")
+        assert result.scalar() == 400.0
+
+    def test_having_without_group_or_aggregate_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.query("SELECT fno FROM Flights HAVING fno > 1")
+
+    def test_star_mixed_with_aggregate_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.query("SELECT *, COUNT(*) FROM Flights")
+
+
+class TestSubqueries:
+    def test_uncorrelated_in_subquery(self, engine):
+        result = engine.query(
+            "SELECT fno FROM Flights WHERE fno IN (SELECT fno FROM Airlines WHERE airline = 'United')"
+        )
+        assert sorted(row[0] for row in result.rows) == [122, 123]
+
+    def test_correlated_subquery_sees_outer_row(self, engine):
+        result = engine.query(
+            "SELECT f.fno FROM Flights f WHERE 'United' IN "
+            "(SELECT airline FROM Airlines a WHERE a.fno = f.fno)"
+        )
+        assert sorted(row[0] for row in result.rows) == [122, 123]
+
+    def test_not_in_subquery(self, engine):
+        result = engine.query(
+            "SELECT fno FROM Flights WHERE fno NOT IN (SELECT fno FROM Airlines WHERE airline = 'United')"
+        )
+        assert sorted(row[0] for row in result.rows) == [134, 136]
+
+
+class TestResultHelpers:
+    def test_as_dicts(self, engine):
+        rows = engine.query("SELECT fno, dest FROM Flights WHERE fno = 122").as_dicts()
+        assert rows == [{"fno": 122, "dest": "Paris"}]
+
+    def test_scalar_requires_single_cell(self, engine):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            engine.query("SELECT fno, dest FROM Flights").scalar()
+
+    def test_len(self, engine):
+        assert len(engine.query("SELECT fno FROM Flights")) == 4
+
+    def test_explain_mentions_operators(self, engine):
+        plan = engine.explain("SELECT fno FROM Flights WHERE dest = 'Paris' ORDER BY fno")
+        assert "Sort" in plan and "Project" in plan
+        with pytest.raises(PlanError):
+            engine.explain("INSERT INTO Flights VALUES (1, 'X', 1.0, 'Y')")

@@ -1,0 +1,142 @@
+"""Unit tests for scalar expression evaluation (including SQL NULL behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.relalg.expressions import ExpressionEvaluator, like_to_regex
+from repro.relalg.rows import RowEnv
+from repro.sqlparser import ast, parse_statement
+
+
+@pytest.fixture
+def evaluator() -> ExpressionEvaluator:
+    return ExpressionEvaluator()
+
+
+def expr(sql_condition: str) -> ast.Expression:
+    """Parse a scalar expression by hiding it in a SELECT item."""
+    statement = parse_statement(f"SELECT {sql_condition}")
+    return statement.items[0].expression
+
+
+def evaluate(evaluator: ExpressionEvaluator, sql_condition: str, **values):
+    return evaluator.evaluate(expr(sql_condition), RowEnv({k.lower(): v for k, v in values.items()}))
+
+
+class TestArithmeticAndComparison:
+    def test_arithmetic(self, evaluator):
+        assert evaluate(evaluator, "1 + 2 * 3") == 7
+        assert evaluate(evaluator, "10 / 4") == 2.5
+        assert evaluate(evaluator, "10 % 3") == 1
+        assert evaluate(evaluator, "-(2 + 3)") == -5
+
+    def test_division_by_zero(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluate(evaluator, "1 / 0")
+
+    def test_comparisons(self, evaluator):
+        assert evaluate(evaluator, "2 < 3") is True
+        assert evaluate(evaluator, "2 >= 3") is False
+        assert evaluate(evaluator, "'a' != 'b'") is True
+
+    def test_incomparable_types_raise(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluate(evaluator, "1 < 'x'")
+
+    def test_string_concatenation(self, evaluator):
+        assert evaluate(evaluator, "'a' || 'b'") == "ab"
+
+    def test_arithmetic_on_text_raises(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluate(evaluator, "'a' + 1")
+
+
+class TestNullSemantics:
+    def test_comparison_with_null_is_null(self, evaluator):
+        assert evaluate(evaluator, "x = 1", x=None) is None
+        assert evaluate(evaluator, "x < 1", x=None) is None
+
+    def test_null_propagates_through_arithmetic(self, evaluator):
+        assert evaluate(evaluator, "x + 1", x=None) is None
+
+    def test_and_or_three_valued(self, evaluator):
+        assert evaluate(evaluator, "x = 1 AND 1 = 1", x=None) is None
+        assert evaluate(evaluator, "x = 1 AND 1 = 2", x=None) is False
+        assert evaluate(evaluator, "x = 1 OR 1 = 1", x=None) is True
+        assert evaluate(evaluator, "x = 1 OR 1 = 2", x=None) is None
+
+    def test_is_null(self, evaluator):
+        assert evaluate(evaluator, "x IS NULL", x=None) is True
+        assert evaluate(evaluator, "x IS NOT NULL", x=None) is False
+
+    def test_predicate_treats_null_as_false(self, evaluator):
+        condition = parse_statement("SELECT 1 WHERE x = 1").where
+        assert evaluator.evaluate_predicate(condition, RowEnv({"x": None})) is False
+
+
+class TestPredicatesAndFunctions:
+    def test_between(self, evaluator):
+        assert evaluate(evaluator, "5 BETWEEN 1 AND 10") is True
+        assert evaluate(evaluator, "5 NOT BETWEEN 1 AND 10") is False
+
+    def test_like(self, evaluator):
+        assert evaluate(evaluator, "'Grand Paris' LIKE 'Gr%'") is True
+        assert evaluate(evaluator, "'Grand' LIKE 'Gr_nd'") is True
+        assert evaluate(evaluator, "'Grand' NOT LIKE 'X%'") is True
+
+    def test_like_regex_escapes_special_characters(self):
+        assert like_to_regex("a.b%").match("a.bcd")
+        assert not like_to_regex("a.b%").match("axbcd")
+
+    def test_in_list_with_null_semantics(self, evaluator):
+        assert evaluate(evaluator, "2 IN (1, 2, 3)") is True
+        assert evaluate(evaluator, "5 IN (1, 2, NULL)") is None
+        assert evaluate(evaluator, "x IN (1, 2)", x=None) is None
+
+    def test_scalar_functions(self, evaluator):
+        assert evaluate(evaluator, "ABS(-4)") == 4
+        assert evaluate(evaluator, "LOWER('ABC')") == "abc"
+        assert evaluate(evaluator, "UPPER('abc')") == "ABC"
+        assert evaluate(evaluator, "LENGTH('abcd')") == 4
+        assert evaluate(evaluator, "ROUND(3.456, 1)") == 3.5
+        assert evaluate(evaluator, "COALESCE(NULL, 2)") == 2
+
+    def test_unknown_function_rejected(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluate(evaluator, "FROBNICATE(1)")
+
+    def test_aggregate_outside_grouping_rejected(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluate(evaluator, "SUM(x)", x=1)
+
+    def test_subquery_without_callback_rejected(self, evaluator):
+        condition = parse_statement("SELECT 1 WHERE x IN (SELECT 1)").where
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(condition, RowEnv({"x": 1}))
+
+    def test_answer_membership_rejected_outside_entangled_context(self, evaluator):
+        condition = parse_statement("SELECT 1 WHERE (1, 2) IN ANSWER R").where
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(condition, RowEnv({}))
+
+
+class TestColumnResolution:
+    def test_ambiguous_bare_reference_raises(self, evaluator):
+        env = RowEnv({"f.fno": 1, "a.fno": 2})
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(ast.ColumnRef("fno"), env)
+
+    def test_qualified_reference_resolves(self, evaluator):
+        env = RowEnv({"f.fno": 1, "a.fno": 2})
+        assert evaluator.evaluate(ast.ColumnRef("fno", table="a"), env) == 2
+
+    def test_unknown_reference_raises(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(ast.ColumnRef("missing"), RowEnv({}))
+
+    def test_outer_scope_lookup(self, evaluator):
+        outer = RowEnv({"f.fno": 7})
+        inner = outer.child({"h.hid": 9})
+        assert evaluator.evaluate(ast.ColumnRef("fno"), inner) == 7

@@ -1,0 +1,133 @@
+"""Unit tests for individual plan operators and row-environment helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relalg import plan as planops
+from repro.relalg.expressions import ExpressionEvaluator
+from repro.relalg.plan import PlanContext
+from repro.relalg.rows import RowEnv, bind_row, merge_rows, output_row
+from repro.sqlparser import ast, parse_statement
+from repro.storage.database import Database
+
+
+@pytest.fixture
+def context() -> PlanContext:
+    database = Database()
+    database.create_table(name="T", columns=[("a", "INT"), ("b", "TEXT")])
+    database.insert_many("T", [(1, "x"), (2, "y"), (3, "x")])
+    return PlanContext(database, ExpressionEvaluator())
+
+
+def where(sql_condition: str) -> ast.Expression:
+    return parse_statement(f"SELECT 1 WHERE {sql_condition}").where
+
+
+class TestRowHelpers:
+    def test_bind_row_prefixes_keys(self):
+        assert bind_row("F", {"Fno": 1}) == {"f.fno": 1}
+
+    def test_merge_rows_later_wins(self):
+        assert merge_rows({"a": 1}, {"a": 2, "b": 3}) == {"a": 2, "b": 3}
+
+    def test_output_row_lowercases(self):
+        assert output_row(["Fno"], [5]) == {"fno": 5}
+
+    def test_env_values_copy(self):
+        env = RowEnv({"a": 1})
+        values = env.values
+        values["a"] = 2
+        assert env.resolve("a") == 1
+
+
+class TestOperators:
+    def test_scan_yields_qualified_rows(self, context):
+        scan = planops.ScanNode("T", "t")
+        rows = list(scan.rows(context))
+        assert {"t.a": 1, "t.b": "x"} in rows
+        assert len(rows) == 3
+
+    def test_filter(self, context):
+        node = planops.FilterNode(planops.ScanNode("T", "t"), where("t.b = 'x'"))
+        assert len(list(node.rows(context))) == 2
+
+    def test_index_lookup_node(self, context):
+        context.database.table("T").create_index("by_b", ["b"])
+        node = planops.IndexLookupNode("T", "t", {"b": ast.Literal("x")})
+        assert {row["t.a"] for row in node.rows(context)} == {1, 3}
+
+    def test_project(self, context):
+        node = planops.ProjectNode(
+            planops.ScanNode("T", "t"),
+            ("double", "b"),
+            (where("t.a * 2 = t.a * 2") and parse_statement("SELECT t.a * 2").items[0].expression,
+             ast.ColumnRef("b", table="t")),
+        )
+        rows = list(node.rows(context))
+        assert {"double": 2, "b": "x"} in rows
+
+    def test_limit_and_offset(self, context):
+        node = planops.LimitNode(planops.ScanNode("T", "t"), limit=1, offset=1)
+        rows = list(node.rows(context))
+        assert len(rows) == 1 and rows[0]["t.a"] == 2
+
+    def test_distinct(self, context):
+        node = planops.DistinctNode(
+            planops.ProjectNode(planops.ScanNode("T", "t"), ("b",), (ast.ColumnRef("b", table="t"),))
+        )
+        assert sorted(row["b"] for row in node.rows(context)) == ["x", "y"]
+
+    def test_sort_descending_with_nulls(self, context):
+        context.database.insert("T", (4, None))
+        node = planops.SortNode(
+            planops.ScanNode("T", "t"),
+            (ast.OrderItem(ast.ColumnRef("b", table="t"), descending=True),),
+        )
+        values = [row["t.b"] for row in node.rows(context)]
+        assert values[0] == "y" and values[-1] is None
+
+    def test_values_node(self, context):
+        node = planops.ValuesNode(({"x": 1}, {"x": 2}))
+        assert [row["x"] for row in node.rows(context)] == [1, 2]
+
+    def test_left_join_null_padding(self, context):
+        context.database.create_table(name="S", columns=[("a", "INT"), ("c", "TEXT")])
+        context.database.insert("S", (1, "only"))
+        node = planops.JoinNode(
+            left=planops.ScanNode("T", "t"),
+            right=planops.ScanNode("S", "s"),
+            condition=where("t.a = s.a"),
+            kind="left",
+            right_columns=("s.a", "s.c"),
+        )
+        rows = list(node.rows(context))
+        assert len(rows) == 3
+        unmatched = [row for row in rows if row["t.a"] != 1]
+        assert all(row["s.c"] is None for row in unmatched)
+
+    def test_explain_tree_is_indented(self, context):
+        node = planops.FilterNode(planops.ScanNode("T", "t"), where("t.a = 1"))
+        text = node.explain()
+        assert text.splitlines()[0].startswith("Filter")
+        assert text.splitlines()[1].startswith("  Scan")
+
+
+class TestStarExpansion:
+    def test_star_prefers_bare_names(self, context):
+        node = planops.ProjectNode(planops.ScanNode("T", "t"), ("*",), (ast.Star(),))
+        rows = list(node.rows(context))
+        assert set(rows[0].keys()) == {"a", "b"}
+
+    def test_qualified_star_filters_by_binding(self, context):
+        context.database.create_table(name="S", columns=[("c", "INT")])
+        context.database.insert("S", (9,))
+        join = planops.JoinNode(
+            left=planops.ScanNode("T", "t"),
+            right=planops.ScanNode("S", "s"),
+            condition=None,
+            kind="cross",
+        )
+        node = planops.ProjectNode(join, ("*",), (ast.Star(table="s"),))
+        rows = list(node.rows(context))
+        assert set(rows[0].keys()) == {"c"}

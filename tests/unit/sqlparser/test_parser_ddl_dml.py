@@ -1,0 +1,99 @@
+"""Unit tests for parsing CREATE/DROP TABLE, INSERT, UPDATE, DELETE and scripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlparser import ast, parse_script, parse_statement
+
+
+class TestCreateDrop:
+    def test_create_table_with_constraints(self):
+        statement = parse_statement(
+            "CREATE TABLE Flights (fno INT NOT NULL, dest TEXT, price REAL, "
+            "PRIMARY KEY (fno))"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.columns[0] == ast.ColumnDefinition("fno", "INT", False)
+        assert statement.columns[1].nullable
+        assert statement.primary_key == ("fno",)
+
+    def test_create_table_inline_primary_key(self):
+        statement = parse_statement("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+        assert statement.primary_key == ("id",)
+
+    def test_create_table_if_not_exists(self):
+        statement = parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert statement.if_not_exists
+
+    def test_composite_primary_key(self):
+        statement = parse_statement(
+            "CREATE TABLE Seats (fno INT, block_id INT, PRIMARY KEY (fno, block_id))"
+        )
+        assert statement.primary_key == ("fno", "block_id")
+
+    def test_drop_table(self):
+        statement = parse_statement("DROP TABLE IF EXISTS Flights")
+        assert isinstance(statement, ast.DropTable)
+        assert statement.if_exists
+        assert not parse_statement("DROP TABLE Flights").if_exists
+
+
+class TestInsertUpdateDelete:
+    def test_insert_multiple_rows(self):
+        statement = parse_statement(
+            "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Rome')"
+        )
+        assert isinstance(statement, ast.Insert)
+        assert len(statement.rows) == 2
+        assert statement.columns == ()
+
+    def test_insert_with_column_list(self):
+        statement = parse_statement("INSERT INTO Flights (fno, dest) VALUES (1, 'X')")
+        assert statement.columns == ("fno", "dest")
+
+    def test_insert_expression_values(self):
+        statement = parse_statement("INSERT INTO t VALUES (1 + 2, -3)")
+        assert isinstance(statement.rows[0][0], ast.BinaryOp)
+
+    def test_update(self):
+        statement = parse_statement(
+            "UPDATE Flights SET price = price * 2, dest = 'Paris' WHERE fno = 1"
+        )
+        assert isinstance(statement, ast.Update)
+        assert [column for column, _ in statement.assignments] == ["price", "dest"]
+        assert statement.where is not None
+
+    def test_update_requires_equals(self):
+        with pytest.raises(ParseError):
+            parse_statement("UPDATE t SET a > 1")
+
+    def test_delete_with_and_without_where(self):
+        with_where = parse_statement("DELETE FROM Flights WHERE dest = 'Rome'")
+        without = parse_statement("DELETE FROM Flights")
+        assert isinstance(with_where, ast.Delete) and with_where.where is not None
+        assert without.where is None
+
+
+class TestScripts:
+    def test_parse_script_splits_statements(self):
+        statements = parse_script(
+            """
+            CREATE TABLE t (a INT);
+            INSERT INTO t VALUES (1);
+            SELECT a FROM t;
+            """
+        )
+        assert [type(s).__name__ for s in statements] == ["CreateTable", "Insert", "Select"]
+
+    def test_parse_script_tolerates_extra_semicolons(self):
+        statements = parse_script("SELECT 1;; ;SELECT 2;")
+        assert len(statements) == 2
+
+    def test_parse_script_empty_input(self):
+        assert parse_script("   \n  -- only a comment\n") == []
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("GRANT ALL ON Flights")

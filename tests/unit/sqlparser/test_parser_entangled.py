@@ -1,0 +1,121 @@
+"""Unit tests for parsing entangled queries (the paper's SQL extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlparser import ast, parse_statement
+
+KRAMER_SQL = (
+    "SELECT 'Kramer', fno INTO ANSWER Reservation "
+    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+    "AND ('Jerry', fno) IN ANSWER Reservation "
+    "CHOOSE 1"
+)
+
+
+def parse_entangled(sql: str) -> ast.EntangledSelect:
+    statement = parse_statement(sql)
+    assert isinstance(statement, ast.EntangledSelect)
+    return statement
+
+
+class TestPaperExample:
+    def test_kramer_query_structure(self):
+        query = parse_entangled(KRAMER_SQL)
+        assert len(query.heads) == 1
+        head = query.heads[0]
+        assert head.relation == "Reservation"
+        assert head.items[0] == ast.Literal("Kramer")
+        assert head.items[1] == ast.ColumnRef("fno")
+        assert query.choose == 1
+
+    def test_where_contains_domain_and_answer_constraint(self):
+        query = parse_entangled(KRAMER_SQL)
+        where = query.where
+        assert isinstance(where, ast.BinaryOp) and where.operator == "AND"
+        assert isinstance(where.left, ast.InSubquery)
+        assert isinstance(where.right, ast.AnswerMembership)
+        assert where.right.relation == "Reservation"
+        assert where.right.items[0] == ast.Literal("Jerry")
+
+    def test_choose_defaults_to_one(self):
+        query = parse_entangled(
+            "SELECT 'Kramer', fno INTO ANSWER Reservation "
+            "WHERE fno IN (SELECT fno FROM Flights)"
+        )
+        assert query.choose == 1
+
+    def test_choose_k(self):
+        query = parse_entangled(
+            "SELECT 'Kramer', fno INTO ANSWER Reservation "
+            "WHERE fno IN (SELECT fno FROM Flights) CHOOSE 3"
+        )
+        assert query.choose == 3
+
+
+class TestMultiHead:
+    def test_flight_and_hotel_heads(self):
+        query = parse_entangled(
+            "SELECT 'Jerry', fno INTO ANSWER Reservation, "
+            "'Jerry', hid INTO ANSWER HotelReservation "
+            "WHERE fno IN (SELECT fno FROM Flights) "
+            "AND hid IN (SELECT hid FROM Hotels) "
+            "AND ('Kramer', fno) IN ANSWER Reservation "
+            "AND ('Kramer', hid) IN ANSWER HotelReservation "
+            "CHOOSE 1"
+        )
+        assert [head.relation for head in query.heads] == ["Reservation", "HotelReservation"]
+        assert all(len(head.items) == 2 for head in query.heads)
+
+    def test_wide_head(self):
+        query = parse_entangled(
+            "SELECT 'Jerry', fno, block INTO ANSWER SeatBlock "
+            "WHERE (fno, block) IN (SELECT fno, block_id FROM Seats)"
+        )
+        assert len(query.heads[0].items) == 3
+        assert isinstance(query.where, ast.InSubquery)
+        assert isinstance(query.where.operand, ast.TupleExpr)
+
+
+class TestSyntaxErrors:
+    def test_trailing_expressions_without_into_answer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SELECT 'Jerry', fno INTO ANSWER Reservation, hid "
+                "WHERE fno IN (SELECT fno FROM Flights)"
+            )
+
+    def test_choose_requires_positive_integer(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SELECT 'K', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM F) CHOOSE 0"
+            )
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SELECT 'K', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM F) CHOOSE x"
+            )
+
+    def test_entangled_query_not_allowed_as_subquery(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SELECT fno FROM Flights WHERE fno IN "
+                "(SELECT 'K', fno INTO ANSWER R CHOOSE 1)"
+            )
+
+    def test_single_expression_answer_membership(self):
+        query = parse_entangled(
+            "SELECT 'K', fno INTO ANSWER R WHERE fno IN ANSWER Chosen"
+        )
+        membership = query.where
+        assert isinstance(membership, ast.AnswerMembership)
+        assert len(membership.items) == 1
+        assert membership.relation == "Chosen"
+
+    def test_not_in_answer_parses_but_is_flagged(self):
+        query = parse_entangled(
+            "SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) NOT IN ANSWER R"
+        )
+        assert isinstance(query.where, ast.AnswerMembership)
+        assert query.where.negated

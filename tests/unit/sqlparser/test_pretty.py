@@ -1,0 +1,67 @@
+"""Unit tests for the SQL pretty-printer (format → reparse stability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlparser import ast, format_expression, format_statement, parse_statement
+
+ROUND_TRIP_STATEMENTS = [
+    "SELECT fno, dest FROM Flights WHERE dest = 'Paris' ORDER BY fno LIMIT 3",
+    "SELECT DISTINCT dest FROM Flights",
+    "SELECT dest, COUNT(*) AS n FROM Flights GROUP BY dest HAVING COUNT(*) > 1",
+    "SELECT f.fno FROM Flights AS f JOIN Airlines AS a ON f.fno = a.fno",
+    "SELECT 1 WHERE price BETWEEN 100 AND 200 AND name LIKE 'Gr%'",
+    "SELECT 1 WHERE dest IN ('Paris', 'Rome') AND fno IS NOT NULL",
+    "CREATE TABLE Flights (fno INT NOT NULL, dest TEXT, PRIMARY KEY (fno))",
+    "DROP TABLE IF EXISTS Flights",
+    "INSERT INTO Flights (fno, dest) VALUES (1, 'Paris'), (2, 'Rome')",
+    "UPDATE Flights SET price = price + 10 WHERE fno = 1",
+    "DELETE FROM Flights WHERE dest = 'Rome'",
+    (
+        "SELECT 'Kramer', fno INTO ANSWER Reservation "
+        "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+        "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1"
+    ),
+    (
+        "SELECT 'Jerry', fno INTO ANSWER Reservation, 'Jerry', hid INTO ANSWER HotelReservation "
+        "WHERE fno IN (SELECT fno FROM Flights) AND hid IN (SELECT hid FROM Hotels) "
+        "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1"
+    ),
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_STATEMENTS)
+def test_format_then_reparse_is_stable(sql: str):
+    """Formatting a parsed statement and reparsing it yields the same AST."""
+    first = parse_statement(sql)
+    formatted = format_statement(first)
+    second = parse_statement(formatted)
+    assert first == second
+    # and formatting is idempotent
+    assert format_statement(second) == formatted
+
+
+def test_string_literal_escaping():
+    assert format_expression(ast.Literal("O'Hare")) == "'O''Hare'"
+    reparsed = parse_statement("SELECT " + format_expression(ast.Literal("O'Hare")))
+    assert reparsed.items[0].expression.value == "O'Hare"
+
+
+def test_null_and_booleans():
+    assert format_expression(ast.Literal(None)) == "NULL"
+    assert format_expression(ast.Literal(True)) == "TRUE"
+    assert format_expression(ast.Literal(False)) == "FALSE"
+
+
+def test_negated_answer_membership_formatting():
+    expression = ast.AnswerMembership((ast.Literal("J"), ast.ColumnRef("fno")), "R", negated=True)
+    assert format_expression(expression) == "(('J', fno) NOT IN ANSWER R)"
+
+
+def test_unknown_node_rejected():
+    class Bogus(ast.Expression):
+        pass
+
+    with pytest.raises(TypeError):
+        format_expression(Bogus())

@@ -1,0 +1,71 @@
+"""Unit tests for CSV import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.csvio import export_table, import_table
+from repro.storage.schema import make_schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def flights() -> Table:
+    table = Table(make_schema(
+        "Flights",
+        [("fno", "INT"), ("dest", "TEXT"), ("price", "REAL"), ("direct", "BOOLEAN")],
+    ))
+    table.insert((122, "Paris", 450.0, True))
+    table.insert((136, "Rome", None, False))
+    return table
+
+
+def test_export_then_import_round_trip(flights: Table, tmp_path):
+    path = tmp_path / "flights.csv"
+    assert export_table(flights, path) == 2
+
+    target = Table(flights.schema)
+    assert import_table(target, path) == 2
+    assert target.rows() == flights.rows()
+
+
+def test_import_subset_of_columns_fills_none(flights: Table, tmp_path):
+    path = tmp_path / "partial.csv"
+    path.write_text("fno,dest\n200,Athens\n", encoding="utf-8")
+    import_table(flights, path)
+    row = flights.lookup_equal({"fno": 200})[0]
+    assert row == {"fno": 200, "dest": "Athens", "price": None, "direct": None}
+
+
+def test_import_unknown_column_rejected(flights: Table, tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("fno,unknown\n1,2\n", encoding="utf-8")
+    with pytest.raises(StorageError):
+        import_table(flights, path)
+
+
+def test_import_ragged_row_rejected(flights: Table, tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("fno,dest\n1\n", encoding="utf-8")
+    with pytest.raises(StorageError):
+        import_table(flights, path)
+
+
+def test_import_empty_file_returns_zero(flights: Table, tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("", encoding="utf-8")
+    assert import_table(flights, path) == 0
+
+
+def test_boolean_parsing_variants(tmp_path):
+    table = Table(make_schema("t", [("flag", "BOOLEAN")]))
+    path = tmp_path / "flags.csv"
+    path.write_text("flag\ntrue\n0\nYES\n", encoding="utf-8")
+    import_table(table, path)
+    assert [row["flag"] for row in table.scan()] == [True, False, True]
+
+    bad = tmp_path / "bad_flags.csv"
+    bad.write_text("flag\nmaybe\n", encoding="utf-8")
+    with pytest.raises(StorageError):
+        import_table(table, bad)

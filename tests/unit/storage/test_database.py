@@ -1,0 +1,119 @@
+"""Unit tests for the database catalog (DDL, DML wrappers, listeners, snapshots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateTableError, UnknownTableError
+from repro.storage.database import Database
+from repro.storage.schema import make_schema
+
+
+@pytest.fixture
+def catalog() -> Database:
+    database = Database("test")
+    database.create_table(name="Flights", columns=[("fno", "INT"), ("dest", "TEXT")],
+                          primary_key=("fno",))
+    database.insert_many("Flights", [(122, "Paris"), (123, "Paris"), (136, "Rome")])
+    return database
+
+
+class TestDDL:
+    def test_create_and_lookup_case_insensitive(self, catalog: Database):
+        assert catalog.has_table("flights")
+        assert catalog.table("FLIGHTS").name == "Flights"
+        assert catalog.schema("flights").primary_key == ("fno",)
+
+    def test_duplicate_create_rejected_unless_if_not_exists(self, catalog: Database):
+        with pytest.raises(DuplicateTableError):
+            catalog.create_table(name="Flights", columns=[("x", "INT")])
+        table = catalog.create_table(
+            name="Flights", columns=[("x", "INT")], if_not_exists=True
+        )
+        assert table.schema.column_names == ("fno", "dest")
+
+    def test_create_from_schema_object(self):
+        database = Database()
+        schema = make_schema("T", [("a", "INT")])
+        database.create_table(schema)
+        assert database.table_names() == ["T"]
+
+    def test_create_requires_schema_or_columns(self):
+        with pytest.raises(ValueError):
+            Database().create_table(name="incomplete")
+
+    def test_drop_table(self, catalog: Database):
+        catalog.drop_table("Flights")
+        assert not catalog.has_table("Flights")
+        with pytest.raises(UnknownTableError):
+            catalog.drop_table("Flights")
+        catalog.drop_table("Flights", if_exists=True)
+
+    def test_unknown_table_error(self, catalog: Database):
+        with pytest.raises(UnknownTableError):
+            catalog.table("Hotels")
+
+
+class TestDML:
+    def test_insert_and_statistics(self, catalog: Database):
+        catalog.insert("Flights", (140, "Athens"))
+        assert catalog.statistics() == {"Flights": 4}
+
+    def test_update_where(self, catalog: Database):
+        touched = catalog.update_where(
+            "Flights", lambda row: row["dest"] == "Rome", lambda row: {"dest": "Milan"}
+        )
+        assert touched == 1
+        assert catalog.table("Flights").lookup_equal({"dest": "Milan"})
+
+    def test_delete_where_and_truncate(self, catalog: Database):
+        assert catalog.delete_where("Flights", lambda row: row["dest"] == "Paris") == 2
+        catalog.truncate("Flights")
+        assert len(catalog.table("Flights")) == 0
+
+
+class TestListeners:
+    def test_listener_receives_change_kinds(self, catalog: Database):
+        seen: list[tuple[str, str]] = []
+        catalog.add_listener(lambda table, kind: seen.append((table, kind)))
+        catalog.insert("Flights", (150, "Berlin"))
+        catalog.update_where("Flights", lambda row: row["fno"] == 150, lambda row: {"dest": "Bern"})
+        catalog.delete_where("Flights", lambda row: row["fno"] == 150)
+        catalog.create_table(name="Hotels", columns=[("hid", "INT")])
+        catalog.drop_table("Hotels")
+        kinds = [kind for _table, kind in seen]
+        assert kinds == ["insert", "update", "delete", "create", "drop"]
+
+    def test_listener_not_called_for_noop_dml(self, catalog: Database):
+        seen: list[str] = []
+        catalog.add_listener(lambda table, kind: seen.append(kind))
+        catalog.delete_where("Flights", lambda row: False)
+        catalog.update_where("Flights", lambda row: False, lambda row: {})
+        assert seen == []
+
+    def test_remove_listener(self, catalog: Database):
+        seen: list[str] = []
+        listener = lambda table, kind: seen.append(kind)  # noqa: E731
+        catalog.add_listener(listener)
+        catalog.remove_listener(listener)
+        catalog.insert("Flights", (151, "Oslo"))
+        assert seen == []
+
+
+class TestSnapshots:
+    def test_snapshot_restore_round_trip(self, catalog: Database):
+        snapshot = catalog.snapshot()
+        catalog.insert("Flights", (160, "Madrid"))
+        catalog.delete_where("Flights", lambda row: row["fno"] == 122)
+        catalog.restore(snapshot)
+        fnos = {row["fno"] for row in catalog.table("Flights").scan()}
+        assert fnos == {122, 123, 136}
+
+    def test_restore_truncates_tables_created_after_snapshot(self, catalog: Database):
+        snapshot = catalog.snapshot()
+        catalog.create_table(name="Hotels", columns=[("hid", "INT")])
+        catalog.insert("Hotels", (1,))
+        catalog.restore(snapshot)
+        # the table still exists (DDL is not transactional) but is empty
+        assert catalog.has_table("Hotels")
+        assert len(catalog.table("Hotels")) == 0

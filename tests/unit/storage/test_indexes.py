@@ -1,0 +1,59 @@
+"""Unit tests for the hash index data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConstraintViolationError
+from repro.storage.indexes import HashIndex
+
+
+class TestHashIndex:
+    def test_requires_at_least_one_column(self):
+        with pytest.raises(ValueError):
+            HashIndex("bad", [])
+
+    def test_add_and_lookup(self):
+        index = HashIndex("by_dest", [1])
+        index.add(1, (122, "Paris"))
+        index.add(2, (123, "Paris"))
+        index.add(3, (136, "Rome"))
+        assert index.lookup(("Paris",)) == {1, 2}
+        assert index.lookup(("Rome",)) == {3}
+        assert index.lookup(("Athens",)) == frozenset()
+
+    def test_remove_cleans_empty_buckets(self):
+        index = HashIndex("by_dest", [1])
+        index.add(1, (122, "Paris"))
+        index.remove(1, (122, "Paris"))
+        assert not index.contains_key(("Paris",))
+        assert len(index) == 0
+
+    def test_remove_missing_row_is_noop(self):
+        index = HashIndex("by_dest", [1])
+        index.remove(99, (122, "Paris"))
+        assert len(index) == 0
+
+    def test_unique_index_rejects_second_row_with_same_key(self):
+        index = HashIndex("pk", [0], unique=True)
+        index.add(1, (122, "Paris"))
+        with pytest.raises(ConstraintViolationError):
+            index.add(2, (122, "Rome"))
+        # re-adding the same row id is idempotent, not a violation
+        index.add(1, (122, "Paris"))
+
+    def test_composite_key(self):
+        index = HashIndex("by_pair", [0, 1])
+        index.add(1, (122, "Paris", 450.0))
+        index.add(2, (122, "Rome", 300.0))
+        assert index.lookup((122, "Paris")) == {1}
+        assert index.key_for_row((7, "X", None)) == (7, "X")
+
+    def test_rebuild_replaces_contents(self):
+        index = HashIndex("by_dest", [1])
+        index.add(1, (122, "Paris"))
+        index.rebuild([(5, (200, "Athens")), (6, (201, "Athens"))])
+        assert index.lookup(("Paris",)) == frozenset()
+        assert index.lookup(("Athens",)) == {5, 6}
+        assert len(index) == 2
+        assert sorted(index.keys()) == [("Athens",)]

@@ -1,0 +1,125 @@
+"""Unit tests for column types, columns and table schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError
+from repro.storage.schema import Column, ColumnType, TableSchema, make_schema
+
+
+class TestColumnType:
+    def test_from_name_aliases(self):
+        assert ColumnType.from_name("int") is ColumnType.INTEGER
+        assert ColumnType.from_name("VARCHAR") is ColumnType.TEXT
+        assert ColumnType.from_name("double") is ColumnType.REAL
+        assert ColumnType.from_name("bool") is ColumnType.BOOLEAN
+        assert ColumnType.from_name("any") is ColumnType.ANY
+
+    def test_from_name_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnType.from_name("geometry")
+
+    def test_python_types_cover_each_type(self):
+        assert int in ColumnType.INTEGER.python_types()
+        assert float in ColumnType.REAL.python_types()
+        assert str in ColumnType.TEXT.python_types()
+        assert bool in ColumnType.BOOLEAN.python_types()
+        assert str in ColumnType.ANY.python_types()
+
+
+class TestColumnValidation:
+    def test_integer_accepts_int_and_integral_float(self):
+        column = Column("n", ColumnType.INTEGER)
+        assert column.validate(5) == 5
+        assert column.validate(5.0) == 5
+
+    def test_integer_rejects_fractional_and_bool(self):
+        column = Column("n", ColumnType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            column.validate(5.5)
+        with pytest.raises(TypeMismatchError):
+            column.validate(True)
+
+    def test_real_coerces_int_to_float(self):
+        column = Column("x", ColumnType.REAL)
+        assert column.validate(3) == 3.0
+        assert isinstance(column.validate(3), float)
+
+    def test_text_rejects_numbers(self):
+        column = Column("s", ColumnType.TEXT)
+        assert column.validate("hello") == "hello"
+        with pytest.raises(TypeMismatchError):
+            column.validate(42)
+
+    def test_boolean_accepts_bool_and_binary_ints(self):
+        column = Column("b", ColumnType.BOOLEAN)
+        assert column.validate(True) is True
+        assert column.validate(0) is False
+        with pytest.raises(TypeMismatchError):
+            column.validate(2)
+
+    def test_any_accepts_scalars_rejects_containers(self):
+        column = Column("v", ColumnType.ANY)
+        assert column.validate("x") == "x"
+        assert column.validate(7) == 7
+        with pytest.raises(TypeMismatchError):
+            column.validate([1, 2])
+
+    def test_nullability(self):
+        nullable = Column("a", ColumnType.TEXT, nullable=True)
+        required = Column("a", ColumnType.TEXT, nullable=False)
+        assert nullable.validate(None) is None
+        with pytest.raises(TypeMismatchError):
+            required.validate(None)
+
+
+class TestTableSchema:
+    def test_make_schema_builds_columns_and_primary_key(self):
+        schema = make_schema(
+            "Flights",
+            [("fno", "INT", False), ("dest", "TEXT")],
+            primary_key=("fno",),
+        )
+        assert schema.column_names == ("fno", "dest")
+        assert schema.primary_key == ("fno",)
+        assert schema.column("FNO").type is ColumnType.INTEGER
+        assert not schema.column("fno").nullable
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("t", [("a", "INT"), ("A", "TEXT")])
+
+    def test_primary_key_must_reference_existing_column(self):
+        with pytest.raises(SchemaError):
+            make_schema("t", [("a", "INT")], primary_key=("b",))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ())
+
+    def test_column_index_is_case_insensitive(self):
+        schema = make_schema("t", [("Alpha", "INT"), ("beta", "TEXT")])
+        assert schema.column_index("alpha") == 0
+        assert schema.column_index("BETA") == 1
+        with pytest.raises(UnknownColumnError):
+            schema.column_index("gamma")
+
+    def test_validate_row_checks_width_and_types(self):
+        schema = make_schema("t", [("a", "INT"), ("b", "TEXT")])
+        assert schema.validate_row([1, "x"]) == (1, "x")
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row([1])
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row(["x", 1])
+
+    def test_row_from_mapping_fills_missing_with_none(self):
+        schema = make_schema("t", [("a", "INT"), ("b", "TEXT")])
+        assert schema.row_from_mapping({"a": 1}) == (1, None)
+        with pytest.raises(UnknownColumnError):
+            schema.row_from_mapping({"z": 1})
+
+    def test_row_as_dict_round_trip(self):
+        schema = make_schema("t", [("a", "INT"), ("b", "TEXT")])
+        row = schema.validate_row([2, "y"])
+        assert schema.row_as_dict(row) == {"a": 2, "b": "y"}

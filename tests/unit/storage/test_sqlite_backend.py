@@ -1,0 +1,81 @@
+"""Unit tests for the SQLite write-through mirror."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.sqlite_backend import SQLiteMirror
+
+
+@pytest.fixture
+def catalog() -> Database:
+    database = Database()
+    database.create_table(
+        name="Flights",
+        columns=[("fno", "INT", False), ("dest", "TEXT"), ("sold_out", "BOOLEAN")],
+        primary_key=("fno",),
+    )
+    database.insert_many(
+        "Flights", [(122, "Paris", False), (123, "Paris", True), (136, "Rome", False)]
+    )
+    return database
+
+
+def test_attach_pushes_existing_rows(catalog: Database, tmp_path):
+    path = tmp_path / "youtopia.db"
+    with SQLiteMirror(catalog, path) as mirror:
+        assert mirror.persisted_tables() == ["Flights"]
+        assert mirror.persisted_row_count("Flights") == 3
+
+
+def test_changes_are_mirrored(catalog: Database, tmp_path):
+    path = tmp_path / "youtopia.db"
+    with SQLiteMirror(catalog, path) as mirror:
+        catalog.insert("Flights", (140, "Athens", False))
+        catalog.delete_where("Flights", lambda row: row["fno"] == 136)
+        assert mirror.persisted_row_count("Flights") == 3
+        rows = sqlite3.connect(str(path)).execute(
+            "SELECT fno FROM Flights ORDER BY fno"
+        ).fetchall()
+        assert [row[0] for row in rows] == [122, 123, 140]
+
+
+def test_drop_table_is_mirrored(catalog: Database, tmp_path):
+    path = tmp_path / "youtopia.db"
+    with SQLiteMirror(catalog, path) as mirror:
+        catalog.drop_table("Flights")
+        assert mirror.persisted_tables() == []
+
+
+def test_boolean_round_trip_via_load_into(catalog: Database, tmp_path):
+    path = tmp_path / "youtopia.db"
+    mirror = SQLiteMirror(catalog, path)
+    mirror.attach()
+    mirror.detach()
+
+    # A brand-new catalog (same schema, empty) recovers the persisted rows.
+    fresh = Database()
+    fresh.create_table(
+        name="Flights",
+        columns=[("fno", "INT", False), ("dest", "TEXT"), ("sold_out", "BOOLEAN")],
+        primary_key=("fno",),
+    )
+    recovery = SQLiteMirror(fresh, path)
+    loaded = recovery.load_into("Flights")
+    recovery.close()
+    assert loaded == 3
+    row = fresh.table("Flights").lookup_equal({"fno": 123})[0]
+    assert row["sold_out"] is True
+
+
+def test_detach_stops_mirroring(catalog: Database, tmp_path):
+    path = tmp_path / "youtopia.db"
+    mirror = SQLiteMirror(catalog, path)
+    mirror.attach()
+    mirror.detach()
+    catalog.insert("Flights", (150, "Berlin", False))
+    assert mirror.persisted_row_count("Flights") == 3
+    mirror.close()

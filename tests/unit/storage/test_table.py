@@ -1,0 +1,126 @@
+"""Unit tests for the in-memory table (insert/update/delete, indexes, snapshots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConstraintViolationError, StorageError, TypeMismatchError
+from repro.storage.schema import make_schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def flights() -> Table:
+    table = Table(make_schema(
+        "Flights",
+        [("fno", "INT", False), ("dest", "TEXT"), ("price", "REAL")],
+        primary_key=("fno",),
+    ))
+    table.insert((122, "Paris", 450.0))
+    table.insert((123, "Paris", 500.0))
+    table.insert((136, "Rome", 300.0))
+    return table
+
+
+class TestInsert:
+    def test_insert_validates_types(self, flights: Table):
+        with pytest.raises(TypeMismatchError):
+            flights.insert(("oops", "Paris", 1.0))
+
+    def test_insert_enforces_primary_key(self, flights: Table):
+        with pytest.raises(ConstraintViolationError):
+            flights.insert((122, "Athens", 100.0))
+        # the failed insert must not leave a partial row behind
+        assert len(flights) == 3
+
+    def test_insert_mapping_and_many(self):
+        table = Table(make_schema("t", [("a", "INT"), ("b", "TEXT")]))
+        table.insert_mapping({"b": "x", "a": 1})
+        table.insert_many([(2, "y"), (3, "z")])
+        assert sorted(row["a"] for row in table.scan()) == [1, 2, 3]
+
+    def test_duplicate_rows_allowed_without_primary_key(self):
+        table = Table(make_schema("t", [("a", "INT")]))
+        table.insert((1,))
+        table.insert((1,))
+        assert len(table) == 2
+
+
+class TestDeleteUpdate:
+    def test_delete_where(self, flights: Table):
+        deleted = flights.delete_where(lambda row: row["dest"] == "Paris")
+        assert deleted == 2
+        assert [row["dest"] for row in flights.scan()] == ["Rome"]
+
+    def test_update_where_partial_assignment(self, flights: Table):
+        updated = flights.update_where(
+            lambda row: row["fno"] == 123, lambda row: {"price": row["price"] + 50}
+        )
+        assert updated == 1
+        assert flights.lookup_equal({"fno": 123})[0]["price"] == 550.0
+
+    def test_update_violating_unique_index_rolls_back_row(self, flights: Table):
+        with pytest.raises(ConstraintViolationError):
+            flights.update_where(lambda row: row["fno"] == 123, lambda row: {"fno": 122})
+        # table unchanged: both original keys still present exactly once
+        assert len(flights.lookup_equal({"fno": 122})) == 1
+        assert len(flights.lookup_equal({"fno": 123})) == 1
+
+    def test_truncate(self, flights: Table):
+        flights.truncate()
+        assert len(flights) == 0
+        assert flights.lookup_equal({"fno": 122}) == []
+
+
+class TestIndexes:
+    def test_create_index_and_lookup(self, flights: Table):
+        flights.create_index("by_dest", ["dest"])
+        rows = flights.lookup_equal({"dest": "Paris"})
+        assert {row["fno"] for row in rows} == {122, 123}
+
+    def test_lookup_without_index_falls_back_to_scan(self, flights: Table):
+        rows = flights.lookup_equal({"dest": "Rome", "price": 300.0})
+        assert [row["fno"] for row in rows] == [136]
+
+    def test_index_maintained_across_mutations(self, flights: Table):
+        flights.create_index("by_dest", ["dest"])
+        flights.insert((140, "Paris", 620.0))
+        flights.delete_where(lambda row: row["fno"] == 122)
+        assert {row["fno"] for row in flights.lookup_equal({"dest": "Paris"})} == {123, 140}
+
+    def test_duplicate_index_name_rejected(self, flights: Table):
+        flights.create_index("by_dest", ["dest"])
+        with pytest.raises(StorageError):
+            flights.create_index("by_dest", ["price"])
+
+    def test_drop_index(self, flights: Table):
+        flights.create_index("by_dest", ["dest"])
+        flights.drop_index("by_dest")
+        with pytest.raises(StorageError):
+            flights.drop_index("by_dest")
+
+    def test_find_index_matches_exact_column_order(self, flights: Table):
+        index = flights.find_index(["fno"])
+        assert index is not None and index.unique
+        assert flights.find_index(["dest"]) is None
+
+
+class TestSnapshots:
+    def test_snapshot_restore_round_trip(self, flights: Table):
+        snapshot = flights.snapshot()
+        flights.insert((150, "Athens", 222.0))
+        flights.delete_where(lambda row: row["fno"] == 122)
+        flights.restore(snapshot)
+        assert {row["fno"] for row in flights.scan()} == {122, 123, 136}
+
+    def test_restore_rebuilds_unique_index(self, flights: Table):
+        snapshot = flights.snapshot()
+        flights.delete_where(lambda row: row["fno"] == 122)
+        flights.restore(snapshot)
+        # primary key still enforced after restore
+        with pytest.raises(ConstraintViolationError):
+            flights.insert((122, "Athens", 1.0))
+
+    def test_contains_row(self, flights: Table):
+        assert flights.contains_row((122, "Paris", 450.0))
+        assert not flights.contains_row((122, "Paris", 451.0))

@@ -1,0 +1,67 @@
+"""Unit tests for the shared exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_every_specific_error_derives_from_youtopia_error(self):
+        specific = [
+            errors.StorageError, errors.SchemaError, errors.UnknownTableError,
+            errors.DuplicateTableError, errors.UnknownColumnError, errors.TypeMismatchError,
+            errors.ConstraintViolationError, errors.TransactionError, errors.ParseError,
+            errors.PlanError, errors.EvaluationError, errors.EntanglementError,
+            errors.CompilationError, errors.SafetyError, errors.UniquenessError,
+            errors.QueryNotPendingError, errors.CoordinationTimeoutError,
+            errors.ExecutionError, errors.ApplicationError, errors.UnknownUserError,
+            errors.BookingError,
+        ]
+        for error_type in specific:
+            assert issubclass(error_type, errors.YoutopiaError)
+
+    def test_storage_family(self):
+        for error_type in (errors.SchemaError, errors.UnknownTableError,
+                           errors.ConstraintViolationError, errors.TransactionError):
+            assert issubclass(error_type, errors.StorageError)
+
+    def test_entanglement_family(self):
+        for error_type in (errors.CompilationError, errors.SafetyError, errors.UniquenessError,
+                           errors.QueryNotPendingError, errors.CoordinationTimeoutError,
+                           errors.ExecutionError):
+            assert issubclass(error_type, errors.EntanglementError)
+
+    def test_application_family(self):
+        assert issubclass(errors.UnknownUserError, errors.ApplicationError)
+        assert issubclass(errors.BookingError, errors.ApplicationError)
+
+
+class TestMessages:
+    def test_unknown_table_records_name(self):
+        error = errors.UnknownTableError("Flights")
+        assert error.table_name == "Flights"
+        assert "Flights" in str(error)
+
+    def test_unknown_column_mentions_table_when_known(self):
+        assert "Flights" in str(errors.UnknownColumnError("dest", "Flights"))
+        assert "dest" in str(errors.UnknownColumnError("dest"))
+
+    def test_parse_error_location(self):
+        with_position = errors.ParseError("boom", line=3, column=7)
+        assert "line 3" in str(with_position) and "column 7" in str(with_position)
+        assert with_position.line == 3 and with_position.column == 7
+        line_only = errors.ParseError("boom", line=2)
+        assert "line 2" in str(line_only) and "column" not in str(line_only)
+        bare = errors.ParseError("boom")
+        assert str(bare) == "boom"
+
+    def test_timeout_error_records_query_and_deadline(self):
+        error = errors.CoordinationTimeoutError("q7", 1.5)
+        assert error.query_id == "q7" and error.timeout == 1.5
+        assert "q7" in str(error)
+
+    def test_query_not_pending_and_unknown_user(self):
+        assert errors.QueryNotPendingError("q1").query_id == "q1"
+        assert errors.UnknownUserError("Newman").username == "Newman"
