@@ -1,0 +1,122 @@
+"""E13 — batch submission (``submit_many``) vs. the loop-of-``submit`` baseline.
+
+Every earlier benchmark submits entangled queries in a loop, which runs a full
+inline match pass per arrival: for N coordinating pairs that is 2N match
+attempts, half of them doomed to fail because the partner has not arrived yet.
+The service layer's ``submit_many`` registers the whole batch under one lock
+acquisition and runs a *single deferred* match pass, so a pair costs one
+successful attempt and an unmatchable query exactly one (the final retry
+sweep).
+
+Acceptance shape (checked by the assertions below, on a 200-query workload):
+``match_attempts(batch) <= groups_matched + still_pending``, i.e. at most one
+match pass per answered group plus one sweep over the leftovers — versus one
+full pass per submission for the loop baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import pair_workload
+from repro.workloads import run_workload
+
+
+@pytest.mark.parametrize("num_pairs", [25, 100])
+def test_loop_submit_baseline(benchmark, report, num_pairs):
+    """The classic one-at-a-time submission loop (2N inline match passes)."""
+
+    def setup():
+        return pair_workload(num_pairs, seed=11), {}
+
+    def run(system, items):
+        result = run_workload(system, items, batch=False)
+        assert result.answered == 2 * num_pairs
+        return result
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    report(
+        mode="loop",
+        queries=result.submitted,
+        match_attempts=result.statistics["match_attempts"],
+        failed_match_attempts=result.statistics["failed_match_attempts"],
+        structural_nodes=result.statistics["structural_nodes"],
+    )
+
+
+@pytest.mark.parametrize("num_pairs", [25, 100])
+def test_batch_submit_many(benchmark, report, num_pairs):
+    """The whole workload through ``submit_many`` (one deferred match pass)."""
+
+    def setup():
+        return pair_workload(num_pairs, seed=11), {}
+
+    def run(system, items):
+        result = run_workload(system, items, batch=True)
+        assert result.answered == 2 * num_pairs
+        # at most one match pass per answered group plus one final retry
+        # sweep over whatever stayed pending
+        assert result.statistics["match_attempts"] <= (
+            result.statistics["groups_matched"] + result.pending
+        )
+        return result
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    report(
+        mode="batch",
+        queries=result.submitted,
+        match_attempts=result.statistics["match_attempts"],
+        failed_match_attempts=result.statistics["failed_match_attempts"],
+        structural_nodes=result.statistics["structural_nodes"],
+    )
+
+
+def test_batch_vs_loop_match_attempts(report):
+    """Side-by-side on the acceptance workload: 100 pairs = 200 queries."""
+    loop_system, items = pair_workload(100, seed=12)
+    loop_result = run_workload(loop_system, items, batch=False)
+
+    batch_system, items = pair_workload(100, seed=12)
+    batch_result = run_workload(batch_system, items, batch=True)
+
+    assert loop_result.answered == batch_result.answered == 200
+    # the loop pays one full inline pass per submission...
+    assert loop_result.statistics["match_attempts"] == 200
+    # ...the batch pays at most one pass per answered group + the final sweep
+    assert batch_result.statistics["match_attempts"] <= (
+        batch_result.statistics["groups_matched"] + batch_result.pending
+    )
+    assert (
+        batch_result.statistics["match_attempts"]
+        < loop_result.statistics["match_attempts"]
+    )
+    report(
+        queries=200,
+        loop_match_attempts=loop_result.statistics["match_attempts"],
+        batch_match_attempts=batch_result.statistics["match_attempts"],
+        loop_failed=loop_result.statistics["failed_match_attempts"],
+        batch_failed=batch_result.statistics["failed_match_attempts"],
+        loop_seconds=round(loop_result.elapsed_seconds, 4),
+        batch_seconds=round(batch_result.elapsed_seconds, 4),
+    )
+
+
+@pytest.mark.parametrize("noise", [0, 200])
+def test_batch_submit_with_pool_noise(benchmark, report, noise):
+    """Batch submission while unmatchable queries ride along in the same batch."""
+
+    def setup():
+        return pair_workload(25, seed=13, num_unmatchable=noise), {}
+
+    def run(system, items):
+        result = run_workload(system, items, batch=True)
+        assert result.answered == 50
+        assert result.pending == noise
+        return result
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    report(
+        noise=noise,
+        match_attempts=result.statistics["match_attempts"],
+        groups=result.statistics["groups_matched"],
+    )

@@ -5,6 +5,10 @@ conditional on the *other* person getting the same flight.  Neither query can
 be answered alone; once both are registered, Youtopia answers them jointly and
 both receive the same (nondeterministically chosen) flight number.
 
+The walkthrough goes through the transport-agnostic coordination service
+(``InProcessService``): typed ``SubmitRequest`` objects in, future-style
+handles (``done()`` / ``result(timeout)`` / ``add_done_callback``) out.
+
 Run with:  python examples/quickstart.py
 """
 
@@ -15,14 +19,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import YoutopiaSystem  # noqa: E402
+from repro import InProcessService, SubmitRequest, SystemConfig  # noqa: E402
 
 
 def main() -> int:
-    system = YoutopiaSystem(seed=0)
+    service = InProcessService(config=SystemConfig(seed=0))
 
     # -- the flight database of Figure 1(a) ------------------------------------
-    system.execute_script(
+    service.execute_script(
         """
         CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT);
         CREATE TABLE Airlines (fno INT PRIMARY KEY, airline TEXT);
@@ -31,36 +35,53 @@ def main() -> int:
                                     (134, 'Lufthansa'), (136, 'Alitalia');
         """
     )
-    system.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+    service.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
 
     # -- Kramer's entangled query (Section 2.1 of the paper) --------------------
-    kramer = system.submit_entangled(
-        "SELECT 'Kramer', fno INTO ANSWER Reservation "
-        "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
-        "AND ('Jerry', fno) IN ANSWER Reservation "
-        "CHOOSE 1",
-        owner="Kramer",
+    kramer = service.submit(
+        SubmitRequest(
+            owner="Kramer",
+            sql=(
+                "SELECT 'Kramer', fno INTO ANSWER Reservation "
+                "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+                "AND ('Jerry', fno) IN ANSWER Reservation "
+                "CHOOSE 1"
+            ),
+        )
     )
-    print(f"Kramer's query {kramer.query_id}: {kramer.status.value}")
+    print(f"Kramer's query {kramer.query_id}: {kramer.status.value}  done={kramer.done()}")
     print("  (it cannot be answered alone — it waits for Jerry)")
 
+    # a completion callback instead of poll-waiting
+    kramer.add_done_callback(
+        lambda handle: print(f"  [callback] {handle.query_id} is now {handle.status.value}")
+    )
+
     # -- Jerry's symmetric query -------------------------------------------------
-    jerry = system.submit_entangled(
-        "SELECT 'Jerry', fno INTO ANSWER Reservation "
-        "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
-        "AND ('Kramer', fno) IN ANSWER Reservation "
-        "CHOOSE 1",
-        owner="Jerry",
+    jerry = service.submit(
+        SubmitRequest(
+            owner="Jerry",
+            sql=(
+                "SELECT 'Jerry', fno INTO ANSWER Reservation "
+                "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+                "AND ('Kramer', fno) IN ANSWER Reservation "
+                "CHOOSE 1"
+            ),
+        )
     )
     print(f"Jerry's query  {jerry.query_id}: {jerry.status.value}")
     print(f"Kramer's query {kramer.query_id}: {kramer.status.value}  (answered jointly)")
 
+    # future-style: result() returns the transportable answer envelope
+    envelope = kramer.result(timeout=1.0)
+    print(f"\nKramer's answer envelope: {dict(envelope.tuples)} (group {list(envelope.group)})")
+
     # -- the shared answer relation (Figure 1(b)) ---------------------------------
     print("\nReservation answer relation:")
-    for traveler, fno in system.answers("Reservation"):
+    for traveler, fno in service.answers("Reservation"):
         print(f"  R({traveler!r}, {fno})")
 
-    result = system.query(
+    result = service.query(
         "SELECT r.traveler, r.fno, a.airline "
         "FROM Reservation r JOIN Airlines a ON r.fno = a.fno ORDER BY r.traveler"
     )
@@ -68,7 +89,7 @@ def main() -> int:
     for traveler, fno, airline in result.rows:
         print(f"  {traveler} flies {airline} flight {fno}")
 
-    fnos = {fno for _traveler, fno in system.answers("Reservation")}
+    fnos = {fno for _traveler, fno in service.answers("Reservation")}
     assert len(fnos) == 1 and fnos.pop() in (122, 123, 134)
     print("\nBoth friends are on the same Paris flight — coordination succeeded.")
     return 0

@@ -13,13 +13,14 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core import ir
 from repro.core.coordinator import QueryStatus
 from repro.core.events import Event
 from repro.core.safety import analyze, mutual_match_possible
 from repro.core.system import YoutopiaSystem
+from repro.service.inprocess import InProcessService
 from repro.apps.cli import format_result_table
 
 
@@ -33,19 +34,30 @@ class MatchEdge:
 
 
 class AdminInterface:
-    """Read-only inspection of a running Youtopia system."""
+    """Read-only inspection of a running Youtopia system.
 
-    def __init__(self, system: YoutopiaSystem) -> None:
-        self.system = system
+    Talks through the service layer's introspection surface
+    (:class:`~repro.service.IntrospectionService`); the deep dumps that are
+    inherently in-process (event log, EXPLAIN, table statistics) reach into
+    the wrapped system.
+    """
+
+    def __init__(self, system: Union[YoutopiaSystem, InProcessService]) -> None:
+        if isinstance(system, YoutopiaSystem):
+            self.service = system.service()
+            self.system = system
+        else:
+            self.service = system
+            self.system = system.system
 
     # -- pending queries -----------------------------------------------------------------
 
     def pending_queries(self) -> list[ir.EntangledQuery]:
-        return self.system.pending_queries()
+        return self.service.pending_queries()
 
     def describe_query(self, query_id: str) -> str:
         """The internal representation of one registered query."""
-        request = self.system.coordinator.request(query_id)
+        request = self.service.request(query_id)
         query = request.query
         report = analyze(query)
         lines = [
@@ -104,12 +116,12 @@ class AdminInterface:
 
     def answer_relations(self) -> dict[str, list[tuple]]:
         return {
-            name: self.system.answers(name) for name in self.system.answer_relations.names()
+            name: self.service.answers(name) for name in self.system.answer_relations.names()
         }
 
     def answer_relation_text(self, relation: str) -> str:
         columns = list(self.system.database.schema(relation).column_names)
-        return format_result_table(columns, self.system.answers(relation))
+        return format_result_table(columns, self.service.answers(relation))
 
     def table_statistics(self) -> dict[str, int]:
         return self.system.database.statistics()
@@ -117,7 +129,7 @@ class AdminInterface:
     # -- statistics and events ----------------------------------------------------------------------
 
     def statistics(self) -> dict[str, int]:
-        return self.system.statistics()
+        return self.service.stats().as_dict()
 
     def event_log(self, limit: Optional[int] = None) -> list[Event]:
         events = self.system.events.history()

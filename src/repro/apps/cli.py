@@ -6,18 +6,23 @@ entangled queries to be input directly to the system by the user."
 The :class:`CommandLine` class is fully scriptable (``run_line`` /
 ``run_script`` return the printed text), which is how the integration tests
 and the ``examples/cli_session.py`` example drive it; :func:`main` wraps it in
-an interactive read-eval-print loop.
+an interactive read-eval-print loop.  All statement traffic flows through the
+coordination service layer (:class:`~repro.service.InProcessService`);
+deep-introspection dot-commands (``.schema``, ``.explain``) reach into the
+in-process system the service wraps.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
-from repro.core.coordinator import CoordinationRequest, QueryStatus
+from repro.core.coordinator import QueryStatus
 from repro.core.system import YoutopiaSystem
 from repro.errors import YoutopiaError
-from repro.relalg.engine import QueryResult
+from repro.service.api import RelationResult
+from repro.service.handles import RequestHandle
+from repro.service.inprocess import InProcessService
 
 _HELP_TEXT = """\
 Youtopia SQL command line.
@@ -59,10 +64,20 @@ def format_result_table(columns: list[str], rows: list[tuple]) -> str:
 
 
 class CommandLine:
-    """A scriptable Youtopia shell bound to one system instance."""
+    """A scriptable Youtopia shell bound to one coordination service."""
 
-    def __init__(self, system: Optional[YoutopiaSystem] = None, user: Optional[str] = None) -> None:
-        self.system = system or YoutopiaSystem()
+    def __init__(
+        self,
+        system: Optional[Union[YoutopiaSystem, InProcessService]] = None,
+        user: Optional[str] = None,
+    ) -> None:
+        if system is None:
+            self.service = InProcessService()
+        elif isinstance(system, YoutopiaSystem):
+            self.service = system.service()
+        else:
+            self.service = system
+        self.system = self.service.system
         self.user = user
         self.done = False
 
@@ -88,15 +103,15 @@ class CommandLine:
 
     def _run_sql(self, sql: str) -> str:
         outputs: list[str] = []
-        for result in self.system.execute_script(sql, owner=self.user):
-            if isinstance(result, QueryResult):
+        for result in self.service.execute_script(sql, owner=self.user):
+            if isinstance(result, RelationResult):
                 outputs.append(self._format_query_result(result))
-            elif isinstance(result, CoordinationRequest):
+            elif isinstance(result, RequestHandle):
                 outputs.append(self._format_request(result))
         return "\n".join(output for output in outputs if output)
 
     @staticmethod
-    def _format_query_result(result: QueryResult) -> str:
+    def _format_query_result(result: RelationResult) -> str:
         if result.command == "SELECT":
             return format_result_table(result.columns, result.rows)
         if result.command in ("INSERT", "UPDATE", "DELETE"):
@@ -104,7 +119,7 @@ class CommandLine:
         return f"{result.command}: ok"
 
     @staticmethod
-    def _format_request(request: CoordinationRequest) -> str:
+    def _format_request(request: RequestHandle) -> str:
         if request.status is QueryStatus.ANSWERED and request.answer is not None:
             tuples = ", ".join(
                 f"{relation}{values}" for relation, values in request.answer.all_tuples()
@@ -144,7 +159,7 @@ class CommandLine:
                 lines.append(f"PRIMARY KEY ({', '.join(schema.primary_key)})")
             return "\n".join(lines)
         if name == ".pending":
-            pending = self.system.pending_queries()
+            pending = self.service.pending_queries()
             if not pending:
                 return "(no pending entangled queries)"
             return "\n".join(f"{query.query_id} [{query.owner}]: {query.describe()}" for query in pending)
@@ -153,11 +168,11 @@ class CommandLine:
                 return "usage: .describe QUERY_ID"
             from repro.apps.admin import AdminInterface
 
-            return AdminInterface(self.system).describe_query(argument)
+            return AdminInterface(self.service).describe_query(argument)
         if name == ".graph":
             from repro.apps.admin import AdminInterface
 
-            return AdminInterface(self.system).match_graph_text()
+            return AdminInterface(self.service).match_graph_text()
         if name == ".explain":
             statement_text = command[len(".explain"):].strip()
             if not statement_text:
@@ -166,11 +181,11 @@ class CommandLine:
         if name == ".answers":
             if argument is None:
                 return "usage: .answers RELATION"
-            tuples = self.system.answers(argument)
+            tuples = self.service.answers(argument)
             columns = list(self.system.database.schema(argument).column_names)
             return format_result_table(columns, tuples)
         if name == ".requests":
-            requests = self.system.coordinator.requests()
+            requests = self.service.requests()
             if not requests:
                 return "(no coordination requests)"
             return "\n".join(
@@ -178,15 +193,15 @@ class CommandLine:
                 for request in requests
             )
         if name == ".stats":
-            statistics = self.system.statistics()
+            statistics = self.service.stats().as_dict()
             return "\n".join(f"{key} = {value}" for key, value in sorted(statistics.items()))
         if name == ".retry":
-            answered = self.system.retry_pending()
+            answered = self.service.retry_pending()
             return f"retried pending queries; {answered} newly answered"
         if name == ".cancel":
             if argument is None:
                 return "usage: .cancel QUERY_ID"
-            self.system.cancel(argument)
+            self.service.cancel(argument)
             return f"cancelled {argument}"
         if name == ".user":
             self.user = argument

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.events import Event, EventType
-from repro.core.system import YoutopiaSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import YoutopiaSystem
+    from repro.service.inprocess import InProcessService
 
 
 @dataclass(frozen=True)
@@ -30,7 +33,7 @@ class Notification:
 class Mailbox:
     """Collects coordination notifications per user."""
 
-    def __init__(self, system: YoutopiaSystem) -> None:
+    def __init__(self, system: Union["YoutopiaSystem", "InProcessService"]) -> None:
         self._system = system
         self._messages: dict[str, list[Notification]] = {}
         system.subscribe(self._on_event)

@@ -5,8 +5,11 @@ flights and hotels, selecting specific flights and hotels, and to create and
 coordinate new travel reservations based on the user's list of friends"
 (Section 2.2).  High-level requests (``TripRequest``) are translated into
 entangled queries via :class:`~repro.core.compiler.EntangledQueryBuilder` and
-submitted to the Youtopia system; confirmed answers are read back from the
-``Reservation`` / ``HotelReservation`` / ``SeatBlock`` answer relations.
+submitted through the transport-agnostic coordination service
+(:class:`~repro.service.CoordinationService`); confirmed answers are read back
+from the ``Reservation`` / ``HotelReservation`` / ``SeatBlock`` answer
+relations.  Group bookings go through ``submit_many`` so the whole party is
+registered and coordinated in a single batch pass.
 
 The service also registers side-effect hooks so that every confirmed
 reservation atomically decrements the corresponding inventory (flight seats,
@@ -15,7 +18,7 @@ hotel rooms, seat-block capacity) inside the joint-execution transaction.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.apps.travel.models import (
     BookingConfirmation,
@@ -29,10 +32,13 @@ from repro.apps.travel.models import (
 from repro.apps.travel.notifications import Mailbox
 from repro.apps.travel.social import FriendGraph
 from repro.core.compiler import EntangledQueryBuilder, var
-from repro.core.coordinator import CoordinationRequest, QueryStatus
+from repro.core.coordinator import QueryStatus
 from repro.core.system import YoutopiaSystem
 from repro.errors import BookingError, UnknownUserError
 from repro.relalg.engine import QueryEngine
+from repro.service.api import SubmitRequest
+from repro.service.handles import RequestHandle
+from repro.service.inprocess import InProcessService
 
 
 def _sql_quote(text: str) -> str:
@@ -40,19 +46,35 @@ def _sql_quote(text: str) -> str:
 
 
 class TravelService:
-    """Middle-tier facade for the coordinated travel web site."""
+    """Middle-tier facade for the coordinated travel web site.
+
+    Accepts either a raw :class:`~repro.core.system.YoutopiaSystem` (wrapped
+    into an :class:`~repro.service.InProcessService`) or an in-process service
+    directly.  All query/submit/answer traffic flows through the
+    :class:`~repro.service.CoordinationService` protocol; the inventory hooks,
+    mailbox subscription and partner lookup additionally need the in-process
+    extras (``register_side_effect``, ``subscribe``,
+    :class:`~repro.service.IntrospectionService`\\ 's ``request``), so a pure
+    remote transport would have to provide those before it could host this
+    middle tier.
+    """
 
     def __init__(
         self,
-        system: YoutopiaSystem,
+        system: Union[YoutopiaSystem, InProcessService],
         friends: Optional[FriendGraph] = None,
         mailbox: Optional[Mailbox] = None,
         enforce_friendship: bool = True,
         manage_inventory: bool = True,
     ) -> None:
-        self.system = system
+        if isinstance(system, YoutopiaSystem):
+            self.service: InProcessService = system.service()
+            self.system: Optional[YoutopiaSystem] = system
+        else:
+            self.service = system
+            self.system = getattr(system, "system", None)
         self.friends = friends
-        self.mailbox = mailbox or Mailbox(system)
+        self.mailbox = mailbox or Mailbox(self.service)
         self.enforce_friendship = enforce_friendship and friends is not None
         if manage_inventory:
             self._register_inventory_hooks()
@@ -75,9 +97,9 @@ class TravelService:
                 f"WHERE fno = {int(fno)} AND block_id = {int(block)}"
             )
 
-        self.system.register_side_effect(decrement_seats, relation="Reservation")
-        self.system.register_side_effect(decrement_rooms, relation="HotelReservation")
-        self.system.register_side_effect(decrement_block, relation="SeatBlock")
+        self.service.register_side_effect(decrement_seats, relation="Reservation")
+        self.service.register_side_effect(decrement_rooms, relation="HotelReservation")
+        self.service.register_side_effect(decrement_block, relation="SeatBlock")
 
     # -- search & browse ------------------------------------------------------------------------
 
@@ -92,7 +114,7 @@ class TravelService:
             conditions.append(f"depart_date = {_sql_quote(depart_date)}")
         if max_price is not None:
             conditions.append(f"price <= {float(max_price)}")
-        result = self.system.query(
+        result = self.service.query(
             "SELECT fno, origin, dest, depart_date, price, seats, airline FROM Flights "
             f"WHERE {' AND '.join(conditions)} ORDER BY price"
         )
@@ -109,14 +131,14 @@ class TravelService:
             conditions.append(f"price <= {float(max_price)}")
         if min_stars is not None:
             conditions.append(f"stars >= {int(min_stars)}")
-        result = self.system.query(
+        result = self.service.query(
             "SELECT hid, city, name, price, rooms, stars FROM Hotels "
             f"WHERE {' AND '.join(conditions)} ORDER BY price"
         )
         return [Hotel(*row) for row in result.rows]
 
     def flight(self, fno: int) -> Flight:
-        result = self.system.query(
+        result = self.service.query(
             "SELECT fno, origin, dest, depart_date, price, seats, airline FROM Flights "
             f"WHERE fno = {int(fno)}"
         )
@@ -134,7 +156,7 @@ class TravelService:
         """Which of the user's friends already hold a booking on ``fno``."""
         booked = {
             traveler
-            for traveler, booked_fno in self.system.answers("Reservation")
+            for traveler, booked_fno in self.service.answers("Reservation")
             if booked_fno == fno
         }
         return sorted(booked & set(self.friends_of(user)))
@@ -150,17 +172,17 @@ class TravelService:
         """The demo's "account view": everything currently booked for a user."""
         flight_rows = [
             FlightBooking(traveler, fno)
-            for traveler, fno in self.system.answers("Reservation")
+            for traveler, fno in self.service.answers("Reservation")
             if traveler == user
         ]
         hotel_rows = [
             HotelBooking(traveler, hid)
-            for traveler, hid in self.system.answers("HotelReservation")
+            for traveler, hid in self.service.answers("HotelReservation")
             if traveler == user
         ]
         seat_rows = [
             SeatAssignment(traveler, fno, block)
-            for traveler, fno, block in self.system.answers("SeatBlock")
+            for traveler, fno, block in self.service.answers("SeatBlock")
             if traveler == user
         ]
         return BookingConfirmation(
@@ -240,12 +262,12 @@ class TravelService:
 
     # -- submitting requests ----------------------------------------------------------------------------
 
-    def request_trip(self, trip: TripRequest) -> CoordinationRequest:
+    def request_trip(self, trip: TripRequest) -> RequestHandle:
         """Build and submit the entangled query for a trip request."""
         query = self.build_trip_query(trip)
-        return self.system.submit_entangled(query, owner=trip.user)
+        return self.service.submit(SubmitRequest(query=query, owner=trip.user))
 
-    def book_flight(self, user: str, fno: int) -> CoordinationRequest:
+    def book_flight(self, user: str, fno: int) -> RequestHandle:
         """Book a specific flight directly (no coordination partners).
 
         This is the "he can go ahead and make his own booking directly through
@@ -263,10 +285,10 @@ class TravelService:
             .domain("fno", f"SELECT fno FROM Flights WHERE fno = {int(fno)} AND seats > 0")
             .build()
         )
-        request = self.system.submit_entangled(query, owner=user)
-        if request.status is not QueryStatus.ANSWERED:
+        handle = self.service.submit(SubmitRequest(query=query, owner=user))
+        if handle.status is not QueryStatus.ANSWERED:
             raise BookingError(f"direct booking of flight {fno} unexpectedly did not complete")
-        return request
+        return handle
 
     def request_flight_with_friend(
         self,
@@ -276,7 +298,7 @@ class TravelService:
         max_price: Optional[float] = None,
         depart_date: Optional[str] = None,
         adjacent_seats: bool = False,
-    ) -> CoordinationRequest:
+    ) -> RequestHandle:
         """Scenario "Book a flight with a friend" (demo Section 3.1, Figures 3-4)."""
         trip = TripRequest(
             user=user,
@@ -296,7 +318,7 @@ class TravelService:
         max_flight_price: Optional[float] = None,
         max_hotel_price: Optional[float] = None,
         min_hotel_stars: Optional[int] = None,
-    ) -> CoordinationRequest:
+    ) -> RequestHandle:
         """Scenario "Book a flight and a hotel with a friend" (Section 3.1)."""
         trip = TripRequest(
             user=user,
@@ -316,7 +338,7 @@ class TravelService:
         companions: Sequence[str],
         dest: str,
         max_price: Optional[float] = None,
-    ) -> CoordinationRequest:
+    ) -> RequestHandle:
         """One member's request in the "Group flight booking" scenario."""
         trip = TripRequest(
             user=user,
@@ -328,38 +350,54 @@ class TravelService:
 
     def submit_group_flight(
         self, members: Sequence[str], dest: str, max_price: Optional[float] = None
-    ) -> dict[str, CoordinationRequest]:
-        """Submit the whole group's requests (each member requires all others)."""
-        if len(members) < 2:
-            raise BookingError("a group booking needs at least two members")
-        requests: dict[str, CoordinationRequest] = {}
-        for member in members:
-            companions = [other for other in members if other != member]
-            requests[member] = self.request_group_flight(member, companions, dest, max_price)
-        return requests
+    ) -> dict[str, RequestHandle]:
+        """Submit the whole group's requests (each member requires all others).
+
+        The group goes through ``submit_many``: one batch registration, one
+        coordination pass for the whole party instead of one per member.
+        """
+        trips = [
+            TripRequest(
+                user=member,
+                destination=dest,
+                flight_partners=tuple(other for other in members if other != member),
+                max_flight_price=max_price,
+            )
+            for member in members
+        ]
+        return self._submit_group(members, trips)
 
     def submit_group_flight_hotel(
         self, members: Sequence[str], dest: str
-    ) -> dict[str, CoordinationRequest]:
-        """The "Group flight and hotel booking" scenario."""
-        if len(members) < 2:
-            raise BookingError("a group booking needs at least two members")
-        requests: dict[str, CoordinationRequest] = {}
-        for member in members:
-            companions = tuple(other for other in members if other != member)
-            trip = TripRequest(
+    ) -> dict[str, RequestHandle]:
+        """The "Group flight and hotel booking" scenario (batched)."""
+        trips = [
+            TripRequest(
                 user=member,
                 destination=dest,
-                flight_partners=companions,
-                hotel_partners=companions,
+                flight_partners=tuple(other for other in members if other != member),
+                hotel_partners=tuple(other for other in members if other != member),
                 book_hotel=True,
             )
-            requests[member] = self.request_trip(trip)
-        return requests
+            for member in members
+        ]
+        return self._submit_group(members, trips)
 
-    # -- reading back results ---------------------------------------------------------------------------------
+    def _submit_group(
+        self, members: Sequence[str], trips: Sequence[TripRequest]
+    ) -> dict[str, RequestHandle]:
+        if len(members) < 2:
+            raise BookingError("a group booking needs at least two members")
+        submissions = [
+            SubmitRequest(query=self.build_trip_query(trip), owner=trip.user, tag=trip.user)
+            for trip in trips
+        ]
+        handles = self.service.submit_many(submissions)
+        return {member: handle for member, handle in zip(members, handles)}
 
-    def confirmation_for(self, request: CoordinationRequest) -> Optional[BookingConfirmation]:
+    # -- reading back results ---------------------------------------------------------------------------
+
+    def confirmation_for(self, request: RequestHandle) -> Optional[BookingConfirmation]:
         """Turn an answered coordination request into a booking confirmation."""
         if request.status is not QueryStatus.ANSWERED or request.answer is None:
             return None
@@ -375,7 +413,7 @@ class TravelService:
             elif lowered == "seatblock":
                 seat = SeatAssignment(values[0], values[1], values[2])
         partners = tuple(
-            self.system.coordinator.request(query_id).owner or query_id
+            self.service.request(query_id).owner or query_id
             for query_id in request.group_query_ids
             if query_id != request.query_id
         )

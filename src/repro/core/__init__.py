@@ -15,6 +15,7 @@ from repro.core import ir
 from repro.core.answer import AnswerRelationRegistry, AnswerRelationSpec
 from repro.core.baseline import ExhaustiveEvaluator
 from repro.core.compiler import EntangledQueryBuilder, compile_entangled, entangled_to_sql, var
+from repro.core.config import SystemConfig
 from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
 from repro.core.events import Event, EventBus, EventType
 from repro.core.executor import ExecutionOutcome, JointExecutor
@@ -43,6 +44,7 @@ __all__ = [
     "Matcher",
     "ProviderIndex",
     "QueryStatus",
+    "SystemConfig",
     "TransactionManager",
     "Unifier",
     "YoutopiaSession",

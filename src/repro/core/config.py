@@ -1,0 +1,66 @@
+"""Typed configuration for assembling a Youtopia instance.
+
+:class:`SystemConfig` replaces the kwargs-soup constructors of
+:class:`~repro.core.system.YoutopiaSystem` and
+:class:`~repro.core.coordinator.Coordinator`: one frozen dataclass carries
+every tuning knob, can be passed around (benchmark sweeps, the service layer,
+future network servers), compared, and overridden immutably.  The legacy
+keyword arguments remain accepted by both constructors and are folded into a
+``SystemConfig`` internally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Every tuning knob of a Youtopia instance, in one value object.
+
+    Attributes
+    ----------
+    seed:
+        Seed for the nondeterministic ``CHOOSE`` tie-breaking; ``None`` means
+        a fresh unseeded RNG.
+    max_group_size:
+        Upper bound on the size of a coordination group the matcher explores.
+    use_exhaustive_baseline:
+        Route matching through the exponential baseline evaluator instead of
+        the unification-based matcher (benchmarking only).
+    use_constant_index:
+        Enable the (relation, constant-position) provider index.
+    enable_index_lookup:
+        Let the relational optimizer use storage indexes for plain SQL.
+    auto_retry_on_data_change:
+        Re-attempt pending coordinations when base data changes.
+    persist_to:
+        Path of a SQLite mirror database, or ``None`` for memory-only.
+    """
+
+    seed: Optional[int] = None
+    max_group_size: int = 32
+    use_exhaustive_baseline: bool = False
+    use_constant_index: bool = True
+    enable_index_lookup: bool = True
+    auto_retry_on_data_change: bool = False
+    persist_to: Optional[Union[str, Path]] = None
+
+    def replace(self, **overrides: object) -> "SystemConfig":
+        """A copy of this configuration with some fields overridden."""
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+    def as_dict(self) -> dict[str, object]:
+        """A plain-dict view (handy for logging and admin introspection)."""
+        return {
+            "seed": self.seed,
+            "max_group_size": self.max_group_size,
+            "use_exhaustive_baseline": self.use_exhaustive_baseline,
+            "use_constant_index": self.use_constant_index,
+            "enable_index_lookup": self.enable_index_lookup,
+            "auto_retry_on_data_change": self.auto_retry_on_data_change,
+            "persist_to": None if self.persist_to is None else str(self.persist_to),
+        }

@@ -26,12 +26,13 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Union
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.core import ir
 from repro.core.answer import AnswerRelationRegistry
 from repro.core.baseline import ExhaustiveEvaluator
 from repro.core.compiler import compile_entangled
+from repro.core.config import SystemConfig
 from repro.core.events import EventBus, EventType
 from repro.core.executor import ExecutionOutcome, JointExecutor
 from repro.core.matching import MatchedGroup, Matcher, ProviderIndex
@@ -100,7 +101,16 @@ class Coordinator:
         use_exhaustive_baseline: bool = False,
         use_constant_index: bool = True,
         auto_retry_on_data_change: bool = False,
+        config: Optional[SystemConfig] = None,
     ) -> None:
+        if config is None:
+            config = SystemConfig(
+                max_group_size=max_group_size,
+                use_exhaustive_baseline=use_exhaustive_baseline,
+                use_constant_index=use_constant_index,
+                auto_retry_on_data_change=auto_retry_on_data_change,
+            )
+        self.config = config
         self.database = database
         self.engine = engine
         self.registry = registry
@@ -109,23 +119,24 @@ class Coordinator:
         self.statistics = CoordinationStatistics()
         self.rng = rng or random.Random()
 
-        if use_exhaustive_baseline:
+        if config.use_exhaustive_baseline:
             self._matcher: Union[Matcher, ExhaustiveEvaluator] = ExhaustiveEvaluator(
-                engine, rng=self.rng, max_group_size=min(max_group_size, 5)
+                engine, rng=self.rng, max_group_size=min(config.max_group_size, 5)
             )
         else:
-            self._matcher = Matcher(engine, rng=self.rng, max_group_size=max_group_size)
-        self._index = ProviderIndex(use_constant_index=use_constant_index)
+            self._matcher = Matcher(engine, rng=self.rng, max_group_size=config.max_group_size)
+        self._index = ProviderIndex(use_constant_index=config.use_constant_index)
 
         self._pool: dict[str, ir.EntangledQuery] = {}
         self._requests: dict[str, CoordinationRequest] = {}
+        self._done_callbacks: dict[str, list[Callable[[CoordinationRequest], None]]] = {}
         self._lock = threading.RLock()
         self._answered = threading.Condition(self._lock)
         self._executing = False
         self._data_dirty = False
 
         self._ensure_pending_table()
-        if auto_retry_on_data_change:
+        if config.auto_retry_on_data_change:
             self.database.add_listener(self._on_data_change)
 
     # -- internal bookkeeping tables -------------------------------------------------------
@@ -188,19 +199,7 @@ class Coordinator:
         coordinated right away its status is already ``ANSWERED``; otherwise it
         remains ``PENDING`` and the caller can :meth:`wait` on it.
         """
-        if not isinstance(query, ir.EntangledQuery):
-            query = compile_entangled(query, owner=owner)
-        elif owner is not None and query.owner is None:
-            query = ir.EntangledQuery(
-                query_id=query.query_id,
-                heads=query.heads,
-                answer_atoms=query.answer_atoms,
-                domains=query.domains,
-                predicates=query.predicates,
-                choose=query.choose,
-                owner=owner,
-                sql=query.sql,
-            )
+        query = self._coerce_query(query, owner)
 
         request = CoordinationRequest(query=query)
         try:
@@ -221,19 +220,7 @@ class Coordinator:
                 raise EntanglementError(
                     f"a query with id {query.query_id!r} is already registered"
                 )
-            for atom in list(query.heads) + list(query.answer_atoms):
-                self.registry.ensure(atom.relation, atom.arity)
-            self._pool[query.query_id] = query
-            self._index.add_query(query)
-            self._requests[query.query_id] = request
-            self.statistics.queries_registered += 1
-            self.events.publish(
-                EventType.QUERY_REGISTERED,
-                query_id=query.query_id,
-                owner=owner,
-                sql=query.sql or query.describe(),
-            )
-            self._record_pending_row(request)
+            self._register_locked(request)
 
             if self._data_dirty:
                 self._data_dirty = False
@@ -241,6 +228,101 @@ class Coordinator:
 
             self._attempt_match_locked(query)
         return request
+
+    def submit_many(
+        self,
+        queries: Sequence[Union[ir.EntangledQuery, ast.EntangledSelect, str]],
+        owner: Optional[str] = None,
+    ) -> list[CoordinationRequest]:
+        """Register a batch of entangled queries under one lock acquisition.
+
+        Unlike a loop of :meth:`submit` — which runs a full match pass inline
+        for every arrival — the whole batch is registered first and a *single*
+        deferred match pass runs afterwards.  Queries answered as part of an
+        earlier arrival's group have already left the pool when their turn
+        comes, so the pass performs at most one match attempt per answered
+        group plus one attempt per query that remains pending (the final retry
+        sweep).  On coordination-heavy workloads this roughly halves the number
+        of match passes.
+
+        Batch semantics are per-item: a query that fails the static safety /
+        uniqueness checks (or reuses an already-registered id) is recorded as
+        ``REJECTED`` with its error message instead of raising, and the rest of
+        the batch proceeds.  The returned list is parallel to ``queries``.
+        """
+        compiled = [self._coerce_query(query, owner) for query in queries]
+
+        batch: list[CoordinationRequest] = []
+        with self._lock:
+            for query in compiled:
+                request = CoordinationRequest(query=query)
+                batch.append(request)
+                try:
+                    request.analysis = check(query)
+                except EntanglementError as exc:
+                    request.status = QueryStatus.REJECTED
+                    request.error = str(exc)
+                    self._requests.setdefault(query.query_id, request)
+                    self.statistics.queries_rejected += 1
+                    self.events.publish(
+                        EventType.QUERY_REJECTED,
+                        query_id=query.query_id,
+                        owner=query.owner,
+                        reason=str(exc),
+                    )
+                    continue
+                if query.query_id in self._pool or query.query_id in self._requests:
+                    request.status = QueryStatus.REJECTED
+                    request.error = f"a query with id {query.query_id!r} is already registered"
+                    self.statistics.queries_rejected += 1
+                    self.events.publish(
+                        EventType.QUERY_REJECTED,
+                        query_id=query.query_id,
+                        owner=query.owner,
+                        reason=request.error,
+                    )
+                    continue
+                self._register_locked(request)
+
+            if self._data_dirty:
+                self._data_dirty = False
+                self._retry_pending_locked()
+
+            # The single deferred match pass, in arrival order.  Members of a
+            # group answered by an earlier trigger are no longer in the pool
+            # and are skipped without a match attempt.
+            for request in batch:
+                if request.status is QueryStatus.PENDING and request.query_id in self._pool:
+                    self._attempt_match_locked(request.query)
+        return batch
+
+    @staticmethod
+    def _coerce_query(
+        query: Union[ir.EntangledQuery, ast.EntangledSelect, str],
+        owner: Optional[str],
+    ) -> ir.EntangledQuery:
+        if not isinstance(query, ir.EntangledQuery):
+            return compile_entangled(query, owner=owner)
+        if owner is not None and query.owner is None:
+            return query.replace_owner(owner)
+        return query
+
+    def _register_locked(self, request: CoordinationRequest) -> None:
+        """Add a checked request to the pool and index (lock held, no matching)."""
+        query = request.query
+        for atom in list(query.heads) + list(query.answer_atoms):
+            self.registry.ensure(atom.relation, atom.arity)
+        self._pool[query.query_id] = query
+        self._index.add_query(query)
+        self._requests[query.query_id] = request
+        self.statistics.queries_registered += 1
+        self.events.publish(
+            EventType.QUERY_REGISTERED,
+            query_id=query.query_id,
+            owner=query.owner,
+            sql=query.sql or query.describe(),
+        )
+        self._record_pending_row(request)
 
     # -- matching ----------------------------------------------------------------------------------
 
@@ -288,6 +370,7 @@ class Coordinator:
             query_ids=list(group_ids),
             relations=sorted(outcome.inserted),
         )
+        answered_requests: list[CoordinationRequest] = []
         for answer in outcome.answers:
             request = self._requests[answer.query_id]
             request.status = QueryStatus.ANSWERED
@@ -305,7 +388,13 @@ class Coordinator:
                 tuples={relation: list(values) for relation, values in answer.tuples.items()},
                 group=list(group_ids),
             )
+            answered_requests.append(request)
         self._answered.notify_all()
+        # Callbacks fire only after every group member is marked answered and
+        # removed from the pool, so an observer reading a partner's handle
+        # (or waiting on it) sees the whole group in its final state.
+        for request in answered_requests:
+            self._fire_done_callbacks_locked(request)
         return outcome
 
     def retry_pending(self) -> int:
@@ -351,6 +440,57 @@ class Coordinator:
                         raise CoordinationTimeoutError(query_id, timeout or 0.0)
                 self._answered.wait(remaining)
 
+    def wait_many(
+        self, query_ids: Iterable[str], timeout: Optional[float] = None
+    ) -> dict[str, ir.GroundAnswer]:
+        """Block until every query in ``query_ids`` is answered.
+
+        ``timeout`` bounds the *total* wait, not each query's.  Returns a
+        ``query_id -> GroundAnswer`` mapping; raises like :meth:`wait` for the
+        first query that times out, was cancelled or rejected.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        answers: dict[str, ir.GroundAnswer] = {}
+        for query_id in query_ids:
+            remaining = None if deadline is None else max(deadline - time.monotonic(), 0.0)
+            answers[query_id] = self.wait(query_id, timeout=remaining)
+        return answers
+
+    # -- completion callbacks ---------------------------------------------------------------------------
+
+    def add_done_callback(
+        self, query_id: str, fn: Callable[[CoordinationRequest], None]
+    ) -> None:
+        """Invoke ``fn(request)`` once ``query_id`` reaches a terminal state.
+
+        If the query is already answered, cancelled or rejected the callback
+        fires immediately (in the calling thread); otherwise it fires in the
+        thread whose submission answers the group, or in the cancelling
+        thread.  Exceptions raised by callbacks are swallowed — a broken
+        observer must not abort coordination for the rest of the group.
+        """
+        with self._lock:
+            request = self._requests.get(query_id)
+            if request is None:
+                raise QueryNotPendingError(query_id)
+            if request.status is QueryStatus.PENDING:
+                self._done_callbacks.setdefault(query_id, []).append(fn)
+                return
+        self._invoke_done_callback(fn, request)
+
+    def _fire_done_callbacks_locked(self, request: CoordinationRequest) -> None:
+        for fn in self._done_callbacks.pop(request.query_id, ()):
+            self._invoke_done_callback(fn, request)
+
+    @staticmethod
+    def _invoke_done_callback(
+        fn: Callable[[CoordinationRequest], None], request: CoordinationRequest
+    ) -> None:
+        try:
+            fn(request)
+        except Exception:  # noqa: BLE001 - observer failures must not poison the pool
+            pass
+
     def cancel(self, query_id: str) -> None:
         """Withdraw a pending query from the pool."""
         with self._lock:
@@ -365,6 +505,7 @@ class Coordinator:
             self.events.publish(
                 EventType.QUERY_CANCELLED, query_id=query_id, owner=request.owner
             )
+            self._fire_done_callbacks_locked(request)
             self._answered.notify_all()
 
     # -- inspection ------------------------------------------------------------------------------------------

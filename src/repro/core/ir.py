@@ -22,6 +22,7 @@ from the ``fno`` of Kramer's query by pairing each variable with its query id.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Union
@@ -202,6 +203,14 @@ class EntangledQuery:
         return frozenset(
             atom.relation for atom in itertools.chain(self.heads, self.answer_atoms)
         )
+
+    def replace_owner(self, owner: Optional[str]) -> "EntangledQuery":
+        """A copy of this query attributed to ``owner``.
+
+        Uses :func:`dataclasses.replace` so every field — including any added
+        in the future — is carried over.
+        """
+        return dataclasses.replace(self, owner=owner)
 
     def is_self_contained(self) -> bool:
         """Whether the query has no coordination constraints at all.

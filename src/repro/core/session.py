@@ -6,11 +6,16 @@ user.  :class:`YoutopiaSession` is that per-user unit of interaction — it tags
 submitted entangled queries with the user's name (the *owner*), remembers
 which requests the user has outstanding, and offers convenience accessors for
 "my pending requests" / "my answers" that the account view of the demo shows.
+
+Sessions go through the transport-agnostic service layer
+(:mod:`repro.service`): submissions return future-style
+:class:`~repro.service.handles.RequestHandle` objects, and a whole batch can
+be submitted in one coordination pass via :meth:`YoutopiaSession.submit_many`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
 from repro.core import ir
 from repro.core.compiler import EntangledQueryBuilder
@@ -18,12 +23,23 @@ from repro.core.coordinator import CoordinationRequest, QueryStatus
 from repro.relalg.engine import QueryResult
 from repro.sqlparser import ast
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import YoutopiaSystem
+    from repro.service.handles import RequestHandle
+    from repro.service.inprocess import InProcessService
+
 
 class YoutopiaSession:
     """A user-scoped view on a :class:`~repro.core.system.YoutopiaSystem`."""
 
-    def __init__(self, system: "YoutopiaSystem", user: str) -> None:  # noqa: F821
+    def __init__(
+        self,
+        system: "YoutopiaSystem",
+        user: str,
+        service: Optional["InProcessService"] = None,
+    ) -> None:
         self.system = system
+        self.service = service or system.service()
         self.user = user
         self._submitted: list[str] = []
 
@@ -33,22 +49,35 @@ class YoutopiaSession:
         """Run a plain SELECT (reads are not user-scoped)."""
         return self.system.query(sql)
 
-    def execute(self, sql: str) -> Union[QueryResult, CoordinationRequest]:
-        """Execute any statement on behalf of this user."""
+    def execute(self, sql: str) -> Union[QueryResult, "RequestHandle"]:
+        """Execute any statement on behalf of this user.
+
+        Plain SQL returns a :class:`~repro.relalg.engine.QueryResult`;
+        entangled queries return a future-style handle.
+        """
         result = self.system.execute(sql, owner=self.user)
         if isinstance(result, CoordinationRequest):
             self._submitted.append(result.query_id)
+            return self.service.request(result.query_id)
         return result
 
     # -- entangled queries -------------------------------------------------------------------
 
     def submit(
         self, query: Union[str, ast.EntangledSelect, ir.EntangledQuery]
-    ) -> CoordinationRequest:
+    ) -> "RequestHandle":
         """Submit an entangled query owned by this user."""
-        request = self.system.submit_entangled(query, owner=self.user)
-        self._submitted.append(request.query_id)
-        return request
+        handle = self.service.submit(query, owner=self.user)
+        self._submitted.append(handle.query_id)
+        return handle
+
+    def submit_many(
+        self, queries: Iterable[Union[str, ast.EntangledSelect, ir.EntangledQuery]]
+    ) -> list["RequestHandle"]:
+        """Submit a batch owned by this user in a single coordination pass."""
+        handles = self.service.submit_many(list(queries), owner=self.user)
+        self._submitted.extend(handle.query_id for handle in handles)
+        return handles
 
     def builder(self) -> EntangledQueryBuilder:
         """A query builder pre-bound to this user as owner."""
@@ -62,11 +91,11 @@ class YoutopiaSession:
 
     # -- the "account view" ----------------------------------------------------------------------
 
-    def my_requests(self) -> list[CoordinationRequest]:
-        """Every coordination request this session has submitted."""
-        return [self.system.coordinator.request(query_id) for query_id in self._submitted]
+    def my_requests(self) -> list["RequestHandle"]:
+        """A handle for every coordination request this session has submitted."""
+        return [self.service.request(query_id) for query_id in self._submitted]
 
-    def my_pending(self) -> list[CoordinationRequest]:
+    def my_pending(self) -> list["RequestHandle"]:
         return [r for r in self.my_requests() if r.status is QueryStatus.PENDING]
 
     def my_answers(self) -> list[ir.GroundAnswer]:

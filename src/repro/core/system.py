@@ -22,19 +22,29 @@ from typing import Any, Optional, Sequence, Union
 from repro.core import ir
 from repro.core.answer import AnswerRelationRegistry
 from repro.core.compiler import compile_entangled
+from repro.core.config import SystemConfig
 from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
 from repro.core.events import EventBus, EventType
 from repro.core.executor import JointExecutor, SideEffectHook
 from repro.core.transactions import TransactionManager
-from repro.errors import PlanError
+from repro.errors import PlanError, ScriptError, YoutopiaError
 from repro.relalg.engine import QueryEngine, QueryResult
 from repro.sqlparser import ast, parse_script, parse_statement
+from repro.sqlparser.pretty import format_statement
 from repro.storage.database import Database
 from repro.storage.sqlite_backend import SQLiteMirror
 
 
 class YoutopiaSystem:
-    """A complete in-process Youtopia instance."""
+    """A complete in-process Youtopia instance.
+
+    Prefer constructing it from a :class:`~repro.core.config.SystemConfig`
+    (``YoutopiaSystem(config=SystemConfig(seed=0))``); the individual keyword
+    arguments are retained for backwards compatibility and are folded into a
+    config internally.  Application code should usually talk to the instance
+    through the transport-agnostic service layer — see :meth:`service` and
+    :mod:`repro.service`.
+    """
 
     def __init__(
         self,
@@ -46,13 +56,25 @@ class YoutopiaSystem:
         enable_index_lookup: bool = True,
         auto_retry_on_data_change: bool = False,
         persist_to: Optional[Union[str, Path]] = None,
+        config: Optional[SystemConfig] = None,
     ) -> None:
+        if config is None:
+            config = SystemConfig(
+                seed=seed,
+                max_group_size=max_group_size,
+                use_exhaustive_baseline=use_exhaustive_baseline,
+                use_constant_index=use_constant_index,
+                enable_index_lookup=enable_index_lookup,
+                auto_retry_on_data_change=auto_retry_on_data_change,
+                persist_to=persist_to,
+            )
+        self.config = config
         self.database = database or Database()
-        self.engine = QueryEngine(self.database, enable_index_lookup=enable_index_lookup)
+        self.engine = QueryEngine(self.database, enable_index_lookup=config.enable_index_lookup)
         self.transactions = TransactionManager(self.database)
         self.answer_relations = AnswerRelationRegistry(self.database)
         self.events = EventBus()
-        self.rng = random.Random(seed)
+        self.rng = random.Random(config.seed)
         self.executor = JointExecutor(self.engine, self.answer_relations, self.transactions)
         self.coordinator = Coordinator(
             database=self.database,
@@ -61,14 +83,11 @@ class YoutopiaSystem:
             executor=self.executor,
             event_bus=self.events,
             rng=self.rng,
-            max_group_size=max_group_size,
-            use_exhaustive_baseline=use_exhaustive_baseline,
-            use_constant_index=use_constant_index,
-            auto_retry_on_data_change=auto_retry_on_data_change,
+            config=config,
         )
         self._mirror: Optional[SQLiteMirror] = None
-        if persist_to is not None:
-            self._mirror = SQLiteMirror(self.database, persist_to)
+        if config.persist_to is not None:
+            self._mirror = SQLiteMirror(self.database, config.persist_to)
             self._mirror.attach()
 
     # -- lifecycle -------------------------------------------------------------------------
@@ -104,8 +123,19 @@ class YoutopiaSystem:
     def execute_script(
         self, sql: str, owner: Optional[str] = None
     ) -> list[Union[QueryResult, CoordinationRequest]]:
-        """Execute a ``;``-separated script through :meth:`execute`."""
-        return [self.execute(statement, owner=owner) for statement in parse_script(sql)]
+        """Execute a ``;``-separated script through :meth:`execute`.
+
+        A failure mid-script is re-raised as :class:`~repro.errors.ScriptError`
+        carrying the failing statement's index and SQL text (the original
+        error stays available as ``__cause__``).
+        """
+        results: list[Union[QueryResult, CoordinationRequest]] = []
+        for index, statement in enumerate(parse_script(sql)):
+            try:
+                results.append(self.execute(statement, owner=owner))
+            except YoutopiaError as exc:
+                raise ScriptError(index, format_statement(statement), exc) from exc
+        return results
 
     def query(self, sql: str) -> QueryResult:
         """Run a plain SELECT and return its result."""
@@ -128,8 +158,25 @@ class YoutopiaSystem:
         """Compile entangled SQL to the IR without registering it."""
         return compile_entangled(sql, owner=owner)
 
+    def submit_many(
+        self,
+        queries: Sequence[Union[str, ast.EntangledSelect, ir.EntangledQuery]],
+        owner: Optional[str] = None,
+    ) -> list[CoordinationRequest]:
+        """Submit a batch of entangled queries in one coordination pass.
+
+        See :meth:`~repro.core.coordinator.Coordinator.submit_many` for the
+        batch semantics (single lock acquisition, one deferred match pass).
+        """
+        return self.coordinator.submit_many(queries, owner=owner)
+
     def wait(self, query_id: str, timeout: Optional[float] = None) -> ir.GroundAnswer:
         return self.coordinator.wait(query_id, timeout=timeout)
+
+    def wait_many(
+        self, query_ids: Sequence[str], timeout: Optional[float] = None
+    ) -> dict[str, ir.GroundAnswer]:
+        return self.coordinator.wait_many(query_ids, timeout=timeout)
 
     def cancel(self, query_id: str) -> None:
         self.coordinator.cancel(query_id)
@@ -158,13 +205,31 @@ class YoutopiaSystem:
         """Register a side-effect hook run during joint execution."""
         self.executor.register_hook(hook, relation)
 
-    # -- sessions -------------------------------------------------------------------------------------
+    # -- sessions and the service layer ----------------------------------------------------------------
 
     def session(self, user: str) -> "YoutopiaSession":
         """Open a per-user session (the unit the demo's web tier works with)."""
         from repro.core.session import YoutopiaSession
 
         return YoutopiaSession(self, user)
+
+    def service(self) -> "InProcessService":  # noqa: F821
+        """The transport-agnostic service view of this instance.
+
+        Returns an :class:`~repro.service.InProcessService` bound to this
+        system.  New application code should prefer talking through it (and
+        the :class:`~repro.service.CoordinationService` protocol) rather than
+        reaching into the facade or the coordinator directly.
+        """
+        from repro.service.inprocess import InProcessService
+
+        return InProcessService(system=self)
+
+    def handle(self, query_id: str) -> "RequestHandle":  # noqa: F821
+        """A future-style handle for an already-registered entangled query."""
+        from repro.service.handles import RequestHandle
+
+        return RequestHandle(self.coordinator, self.coordinator.request(query_id))
 
     # -- introspection (used by the admin interface) ---------------------------------------------------
 

@@ -155,6 +155,33 @@ class ExecutionError(EntanglementError):
     """Joint execution of a matched query group failed and was rolled back."""
 
 
+class ScriptError(YoutopiaError):
+    """A statement inside a multi-statement script failed.
+
+    Wraps the underlying error (available as ``__cause__`` and ``cause``) and
+    records *which* statement failed, so a mid-script failure surfaces with
+    positional context instead of a bare engine error.
+
+    Attributes
+    ----------
+    statement_index:
+        0-based index of the failing statement within the script.
+    statement_sql:
+        The SQL text of the failing statement.
+    cause:
+        The original :class:`YoutopiaError`.
+    """
+
+    def __init__(self, statement_index: int, statement_sql: str, cause: Exception) -> None:
+        super().__init__(
+            f"statement #{statement_index + 1} of script failed: {cause} "
+            f"[statement: {statement_sql}]"
+        )
+        self.statement_index = statement_index
+        self.statement_sql = statement_sql
+        self.cause = cause
+
+
 # ---------------------------------------------------------------------------
 # Applications
 # ---------------------------------------------------------------------------

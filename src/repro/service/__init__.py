@@ -1,0 +1,46 @@
+"""The transport-agnostic coordination service layer.
+
+Public surface (also re-exported from the top-level :mod:`repro` package):
+
+* :class:`~repro.service.api.CoordinationService` — the protocol every client
+  programs against (``submit``, ``submit_many``, ``wait``, ``wait_many``,
+  ``cancel``, ``query``, ``answers``, ``stats``)
+* :class:`~repro.service.api.IntrospectionService` — admin-grade extensions
+* the DTOs: :class:`~repro.service.api.SubmitRequest`,
+  :class:`~repro.service.api.RelationResult`,
+  :class:`~repro.service.api.AnswerEnvelope`,
+  :class:`~repro.service.api.ServiceStats`
+* :class:`~repro.service.handles.RequestHandle` — future-style handles
+* :class:`~repro.service.inprocess.InProcessService` — the in-process
+  implementation
+* :class:`~repro.core.config.SystemConfig` — typed system configuration
+
+See ``docs/API.md`` for the full contract and the migration table from the
+old :class:`~repro.core.system.YoutopiaSystem` facade calls.
+"""
+
+from repro.core.config import SystemConfig
+from repro.service.api import (
+    AnswerEnvelope,
+    CoordinationService,
+    IntrospectionService,
+    RelationResult,
+    ServiceStats,
+    Submittable,
+    SubmitRequest,
+)
+from repro.service.handles import RequestHandle
+from repro.service.inprocess import InProcessService
+
+__all__ = [
+    "AnswerEnvelope",
+    "CoordinationService",
+    "InProcessService",
+    "IntrospectionService",
+    "RelationResult",
+    "RequestHandle",
+    "ServiceStats",
+    "Submittable",
+    "SubmitRequest",
+    "SystemConfig",
+]

@@ -1,0 +1,168 @@
+"""Future-style handles for submitted entangled queries.
+
+A :class:`RequestHandle` is what the service layer returns from ``submit`` /
+``submit_many``: a live view of one coordination request with the
+``concurrent.futures``-flavoured surface (``result(timeout)``, ``done()``,
+``exception()``, ``add_done_callback``) so applications stop poll-waiting on
+query ids.  It wraps the coordinator's mutable
+:class:`~repro.core.coordinator.CoordinationRequest` record, so ``status`` and
+friends always reflect the current state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core import ir
+from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
+from repro.core.safety import AnalysisReport
+from repro.errors import CoordinationTimeoutError, EntanglementError
+from repro.service.api import AnswerEnvelope
+
+
+class RequestHandle:
+    """A future-style handle for one submitted entangled query."""
+
+    __slots__ = ("_coordinator", "_record", "tag")
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        record: CoordinationRequest,
+        tag: Optional[str] = None,
+    ) -> None:
+        self._coordinator = coordinator
+        self._record = record
+        self.tag = tag
+
+    # -- live state (delegates to the coordinator's record) --------------------------------
+
+    @property
+    def record(self) -> CoordinationRequest:
+        """The underlying coordination record (in-process escape hatch)."""
+        return self._record
+
+    @property
+    def query(self) -> ir.EntangledQuery:
+        return self._record.query
+
+    @property
+    def query_id(self) -> str:
+        return self._record.query_id
+
+    @property
+    def owner(self) -> Optional[str]:
+        return self._record.owner
+
+    @property
+    def status(self) -> QueryStatus:
+        return self._record.status
+
+    @property
+    def analysis(self) -> Optional[AnalysisReport]:
+        return self._record.analysis
+
+    @property
+    def error(self) -> Optional[str]:
+        return self._record.error
+
+    @property
+    def answer(self) -> Optional[ir.GroundAnswer]:
+        return self._record.answer
+
+    @property
+    def group_query_ids(self) -> tuple[str, ...]:
+        return self._record.group_query_ids
+
+    @property
+    def is_answered(self) -> bool:
+        return self._record.status is QueryStatus.ANSWERED
+
+    @property
+    def registered_at(self) -> float:
+        return self._record.registered_at
+
+    @property
+    def answered_at(self) -> Optional[float]:
+        return self._record.answered_at
+
+    # -- the future-style surface -------------------------------------------------------------
+
+    def done(self) -> bool:
+        """Whether the request reached a terminal state (any outcome)."""
+        return self._record.status is not QueryStatus.PENDING
+
+    def cancelled(self) -> bool:
+        return self._record.status is QueryStatus.CANCELLED
+
+    def result(self, timeout: Optional[float] = None) -> AnswerEnvelope:
+        """Block until answered and return the answer envelope.
+
+        Raises :class:`~repro.errors.CoordinationTimeoutError` on timeout and
+        :class:`~repro.errors.EntanglementError` if the query was cancelled or
+        rejected — mirroring ``concurrent.futures.Future.result``.
+        """
+        # Resolve against this handle's own record first: a batch-rejected
+        # duplicate shares its query id with the originally registered query,
+        # so coordinator.wait() would consult the wrong record.
+        if self._record.status in (QueryStatus.CANCELLED, QueryStatus.REJECTED):
+            raise EntanglementError(
+                f"query {self.query_id!r} is {self._record.status.value}: "
+                f"{self._record.error or ''}"
+            )
+        if self._record.status is not QueryStatus.ANSWERED:
+            self._coordinator.wait(self.query_id, timeout=timeout)
+        return AnswerEnvelope.from_request(self._record)
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[EntanglementError]:
+        """The terminal error, or ``None`` if the query was answered.
+
+        Blocks like :meth:`result`; timeouts still raise (the request is not
+        terminal yet, so there is no outcome to report).
+        """
+        try:
+            self.result(timeout=timeout)
+        except CoordinationTimeoutError:
+            raise
+        except EntanglementError as exc:
+            return exc
+        return None
+
+    def add_done_callback(self, fn: Callable[["RequestHandle"], Any]) -> None:
+        """Run ``fn(handle)`` when the request reaches a terminal state.
+
+        Fires immediately (in the calling thread) if already terminal;
+        otherwise fires in the thread that answers or cancels the query.
+        """
+        # Terminal records (including batch-rejected duplicates whose id is
+        # shared with the originally registered query) complete right here
+        # rather than being attached to the coordinator's record for the id.
+        if self.done():
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 - mirror coordinator callback guard
+                pass
+            return
+        self._coordinator.add_done_callback(self.query_id, lambda _record: fn(self))
+
+    def cancel(self) -> None:
+        """Withdraw this query from the pending pool."""
+        self._coordinator.cancel(self.query_id)
+
+    # -- identity ---------------------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RequestHandle):
+            return self.query_id == other.query_id
+        if isinstance(other, CoordinationRequest):
+            return self.query_id == other.query_id
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.query_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestHandle({self.query_id!r}, owner={self.owner!r}, "
+            f"status={self.status.value!r})"
+        )

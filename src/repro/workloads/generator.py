@@ -219,14 +219,27 @@ class WorkloadGenerator:
         return items
 
 
-def run_workload(system: YoutopiaSystem, items: Sequence[WorkloadItem]) -> WorkloadResult:
-    """Submit every item (in order) and summarise the outcome."""
+def run_workload(
+    system: YoutopiaSystem, items: Sequence[WorkloadItem], batch: bool = False
+) -> WorkloadResult:
+    """Submit every item (in order) and summarise the outcome.
+
+    With ``batch=False`` items are submitted one at a time, each arrival
+    triggering an inline match pass (the classic loop used by the demo
+    scenarios).  With ``batch=True`` the whole workload goes through
+    :meth:`~repro.core.system.YoutopiaSystem.submit_many`: one lock
+    acquisition, one deferred match pass — the service layer's hot path.
+    """
     result = WorkloadResult()
     started = time.perf_counter()
-    requests = []
-    for item in items:
-        requests.append(system.submit_entangled(item.query, owner=item.owner))
-        result.submitted += 1
+    if batch:
+        requests = system.submit_many([item.query for item in items])
+        result.submitted = len(requests)
+    else:
+        requests = []
+        for item in items:
+            requests.append(system.submit_entangled(item.query, owner=item.owner))
+            result.submitted += 1
     result.elapsed_seconds = time.perf_counter() - started
     result.answered = sum(1 for request in requests if request.status is QueryStatus.ANSWERED)
     result.pending = sum(1 for request in requests if request.status is QueryStatus.PENDING)

@@ -14,6 +14,11 @@ import pytest
 
 from repro.apps.travel.service import TravelService
 from repro.core.coordinator import QueryStatus
+from repro.errors import (
+    CoordinationTimeoutError,
+    EntanglementError,
+    QueryNotPendingError,
+)
 from repro.workloads import WorkloadConfig, WorkloadGenerator, build_loaded_system
 
 
@@ -98,3 +103,188 @@ class TestConcurrentSubmission:
         waiting_thread.join(timeout=5.0)
         assert not waiting_thread.is_alive()
         assert "Reservation" in answers["result"].tuples
+
+
+class TestSubmitWaitCancelRaces:
+    """Threaded submit/wait/cancel races on one coordinator."""
+
+    def test_cancel_races_with_waiters(self):
+        """Waiters blocked on a query must be released when another thread cancels it."""
+        system, service, _friends = build_loaded_system(
+            num_flights=12, num_hotels=4, num_users=16, seed=20
+        )
+        generator = WorkloadGenerator(service, WorkloadConfig(seed=20))
+        items = generator.unmatchable_items(8)
+        requests = [system.submit_entangled(item.query, owner=item.owner) for item in items]
+
+        outcomes: dict[str, str] = {}
+        outcomes_lock = threading.Lock()
+
+        def waiter(query_id: str) -> None:
+            try:
+                system.wait(query_id, timeout=5.0)
+                outcome = "answered"
+            except CoordinationTimeoutError:
+                outcome = "timeout"
+            except EntanglementError:
+                outcome = "cancelled"
+            with outcomes_lock:
+                outcomes[query_id] = outcome
+
+        waiters = [
+            threading.Thread(target=waiter, args=(request.query_id,)) for request in requests
+        ]
+        for thread in waiters:
+            thread.start()
+
+        cancellers = [
+            threading.Thread(target=system.cancel, args=(request.query_id,))
+            for request in requests
+        ]
+        for thread in cancellers:
+            thread.start()
+        for thread in cancellers:
+            thread.join(timeout=5.0)
+        for thread in waiters:
+            thread.join(timeout=5.0)
+        assert not any(thread.is_alive() for thread in waiters)
+        assert all(outcome == "cancelled" for outcome in outcomes.values())
+        assert system.coordinator.pending_count() == 0
+
+    def test_concurrent_cancel_of_same_query_cancels_exactly_once(self):
+        system, service, _friends = build_loaded_system(
+            num_flights=12, num_hotels=4, num_users=4, seed=21
+        )
+        generator = WorkloadGenerator(service, WorkloadConfig(seed=21))
+        (item,) = generator.unmatchable_items(1)
+        request = system.submit_entangled(item.query, owner=item.owner)
+
+        errors: list[Exception] = []
+        errors_lock = threading.Lock()
+
+        def cancel() -> None:
+            try:
+                system.cancel(request.query_id)
+            except QueryNotPendingError as exc:
+                with errors_lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=cancel) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        # exactly one cancel wins; the others observe the query as gone
+        assert len(errors) == 7
+        assert request.status is QueryStatus.CANCELLED
+        assert system.statistics()["queries_cancelled"] == 1
+
+    def test_mixed_submit_wait_cancel_storm_stays_consistent(self):
+        """Pairs coordinate, noise is cancelled, waiters finish — all under contention."""
+        system, service, _friends = build_loaded_system(
+            num_flights=40, num_hotels=10, num_users=64, seed=22
+        )
+        generator = WorkloadGenerator(service, WorkloadConfig(seed=22))
+        pairs = generator.pair_items(8)
+        noise = generator.unmatchable_items(8)
+        noise_requests = [
+            system.submit_entangled(item.query, owner=item.owner) for item in noise
+        ]
+
+        pair_requests = []
+        pair_lock = threading.Lock()
+        wait_results: list[str] = []
+
+        def submit_pair_member(item) -> None:
+            request = system.submit_entangled(item.query, owner=item.owner)
+            with pair_lock:
+                pair_requests.append(request)
+
+        def wait_for_noise(query_id: str) -> None:
+            try:
+                system.wait(query_id, timeout=5.0)
+                wait_results.append("answered")
+            except EntanglementError:
+                wait_results.append("gone")
+
+        submitters = [
+            threading.Thread(target=submit_pair_member, args=(item,)) for item in pairs
+        ]
+        waiters = [
+            threading.Thread(target=wait_for_noise, args=(request.query_id,))
+            for request in noise_requests
+        ]
+        cancellers = [
+            threading.Thread(target=system.cancel, args=(request.query_id,))
+            for request in noise_requests
+        ]
+        threads = submitters + waiters + cancellers
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+        assert all(request.status is QueryStatus.ANSWERED for request in pair_requests)
+        assert all(request.status is QueryStatus.CANCELLED for request in noise_requests)
+        assert len(wait_results) == len(noise_requests)
+        assert system.coordinator.pending_count() == 0
+
+
+class TestBatchSubmission:
+    """`submit_many` under cross-referencing and concurrent batches."""
+
+    def test_batch_answers_cross_referencing_pairs_in_one_pass(self):
+        system, service, _friends = build_loaded_system(
+            num_flights=40, num_hotels=10, num_users=64, seed=23
+        )
+        generator = WorkloadGenerator(service, WorkloadConfig(seed=23))
+        items = generator.pair_items(16)
+
+        requests = system.submit_many([item.query for item in items])
+        assert len(requests) == 32
+        assert all(request.status is QueryStatus.ANSWERED for request in requests)
+
+        stats = system.statistics()
+        # one match pass per answered group, no failed passes: the whole pool
+        # was registered before the single deferred pass ran
+        assert stats["groups_matched"] == 16
+        assert stats["match_attempts"] == 16
+        assert stats["failed_match_attempts"] == 0
+
+        # every traveller flies on exactly the flight their partner flies on
+        booked = dict(system.answers("Reservation"))
+        for item in items:
+            partner = (
+                item.expected_group[0]
+                if item.expected_group[0] != item.owner
+                else item.expected_group[1]
+            )
+            assert booked[item.owner] == booked[partner]
+
+    def test_concurrent_batches_from_many_threads(self):
+        system, service, _friends = build_loaded_system(
+            num_flights=40, num_hotels=10, num_users=64, seed=24
+        )
+        generator = WorkloadGenerator(service, WorkloadConfig(seed=24))
+        batches = [
+            [item.query for item in generator.pair_items(4)] for _ in range(4)
+        ]
+
+        all_requests = []
+        requests_lock = threading.Lock()
+
+        def submit_batch(queries) -> None:
+            requests = system.submit_many(queries)
+            with requests_lock:
+                all_requests.extend(requests)
+
+        threads = [threading.Thread(target=submit_batch, args=(batch,)) for batch in batches]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        assert len(all_requests) == 32
+        assert all(request.status is QueryStatus.ANSWERED for request in all_requests)
+        assert system.coordinator.pending_count() == 0
