@@ -51,10 +51,12 @@ from repro.core import (
     EventBus,
     EventType,
     ExhaustiveEvaluator,
+    MatchWorkerPool,
     MatchedGroup,
     Matcher,
     ProviderIndex,
     QueryStatus,
+    ShardedCoordinator,
     SystemConfig,
     YoutopiaSession,
     YoutopiaSystem,
@@ -94,6 +96,7 @@ __all__ = [
     "ExhaustiveEvaluator",
     "InProcessService",
     "IntrospectionService",
+    "MatchWorkerPool",
     "MatchedGroup",
     "Matcher",
     "ProviderIndex",
@@ -103,6 +106,7 @@ __all__ = [
     "RelationResult",
     "RequestHandle",
     "ServiceStats",
+    "ShardedCoordinator",
     "SubmitRequest",
     "SystemConfig",
     "YoutopiaError",

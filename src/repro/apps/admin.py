@@ -131,6 +131,21 @@ class AdminInterface:
     def statistics(self) -> dict[str, int]:
         return self.service.stats().as_dict()
 
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard pending/index/queue sizes of the coordination component."""
+        return [dict(entry) for entry in self.service.stats().shards]
+
+    def shard_text(self) -> str:
+        lines = []
+        for entry in self.shard_stats():
+            label = "global (cross-shard)" if entry.get("cross_shard") else str(entry["shard"])
+            lines.append(
+                f"shard {label}: pending={entry['pending']} "
+                f"index={entry['index_size']} queued={entry['queued_events']} "
+                f"dirty={bool(entry['dirty'])}"
+            )
+        return "\n".join(lines) or "(no shards)"
+
     def event_log(self, limit: Optional[int] = None) -> list[Event]:
         events = self.system.events.history()
         if limit is not None:
@@ -168,6 +183,8 @@ class AdminInterface:
             sections.append("(none)")
         sections.append("\n-- potential match graph --")
         sections.append(self.match_graph_text())
+        sections.append("\n-- matching shards --")
+        sections.append(self.shard_text())
         sections.append("\n-- coordination statistics --")
         for key, value in sorted(self.statistics().items()):
             sections.append(f"{key} = {value}")

@@ -22,6 +22,14 @@ from repro.core.executor import ExecutionOutcome, JointExecutor
 from repro.core.matching import MatchedGroup, Matcher, ProviderIndex, Unifier
 from repro.core.safety import AnalysisReport, analyze, check
 from repro.core.session import YoutopiaSession
+from repro.core.sharding import (
+    MatchWorkerPool,
+    QueryShard,
+    ShardedCoordinator,
+    relation_signature,
+    route_signature,
+    shard_for_relation,
+)
 from repro.core.stats import CoordinationStatistics
 from repro.core.system import YoutopiaSystem
 from repro.core.transactions import TransactionManager
@@ -40,10 +48,13 @@ __all__ = [
     "ExecutionOutcome",
     "ExhaustiveEvaluator",
     "JointExecutor",
+    "MatchWorkerPool",
     "MatchedGroup",
     "Matcher",
     "ProviderIndex",
+    "QueryShard",
     "QueryStatus",
+    "ShardedCoordinator",
     "SystemConfig",
     "TransactionManager",
     "Unifier",
@@ -54,5 +65,8 @@ __all__ = [
     "compile_entangled",
     "entangled_to_sql",
     "ir",
+    "relation_signature",
+    "route_signature",
+    "shard_for_relation",
     "var",
 ]

@@ -39,6 +39,27 @@ class SystemConfig:
         Re-attempt pending coordinations when base data changes.
     persist_to:
         Path of a SQLite mirror database, or ``None`` for memory-only.
+    match_workers:
+        Number of background matching threads.  ``0`` (the default) keeps the
+        classic inline behaviour: every ``submit`` runs a match pass under the
+        coordinator's global lock before returning.  With one or more workers
+        the system uses the sharded, event-driven coordinator
+        (:class:`~repro.core.sharding.ShardedCoordinator`): submissions only
+        register and enqueue a match event, and the worker pool drains
+        per-shard queues in the background — callers observe answers through
+        ``wait`` / handles / callbacks.
+    shard_count:
+        Number of pending-pool shards for the sharded coordinator.  ``None``
+        derives one shard per worker (``max(1, match_workers)``) so each
+        worker tends to own a shard; set it explicitly to decouple the two.
+        Ignored when ``match_workers == 0``.
+    idle_sweep_interval:
+        Liveness backstop for the sharded coordinator (seconds).  A data
+        change marks shards dirty, and a shard normally sweeps its pending
+        set when its next match event is processed; a shard receiving no
+        traffic would starve.  Idle workers therefore sweep any shard that
+        has stayed dirty (with pending residents) for at least this long.
+        ``0`` disables the backstop.  Ignored when ``match_workers == 0``.
     """
 
     seed: Optional[int] = None
@@ -48,6 +69,16 @@ class SystemConfig:
     enable_index_lookup: bool = True
     auto_retry_on_data_change: bool = False
     persist_to: Optional[Union[str, Path]] = None
+    match_workers: int = 0
+    shard_count: Optional[int] = None
+    idle_sweep_interval: float = 0.25
+
+    @property
+    def resolved_shard_count(self) -> int:
+        """The effective number of shards (defaults to one per worker)."""
+        if self.shard_count is not None:
+            return max(1, self.shard_count)
+        return max(1, self.match_workers)
 
     def replace(self, **overrides: object) -> "SystemConfig":
         """A copy of this configuration with some fields overridden."""
@@ -63,4 +94,7 @@ class SystemConfig:
             "enable_index_lookup": self.enable_index_lookup,
             "auto_retry_on_data_change": self.auto_retry_on_data_change,
             "persist_to": None if self.persist_to is None else str(self.persist_to),
+            "match_workers": self.match_workers,
+            "shard_count": self.resolved_shard_count,
+            "idle_sweep_interval": self.idle_sweep_interval,
         }

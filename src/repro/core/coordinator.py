@@ -42,6 +42,7 @@ from repro.errors import (
     CoordinationTimeoutError,
     EntanglementError,
     ExecutionError,
+    QueryAlreadyAnsweredError,
     QueryNotPendingError,
 )
 from repro.relalg.engine import QueryEngine
@@ -132,7 +133,9 @@ class Coordinator:
         self._done_callbacks: dict[str, list[Callable[[CoordinationRequest], None]]] = {}
         self._lock = threading.RLock()
         self._answered = threading.Condition(self._lock)
-        self._executing = False
+        # Thread-local so a sharded subclass's worker executing a group does
+        # not suppress data-change notifications caused by *other* threads.
+        self._executing = threading.local()
         self._data_dirty = False
 
         self._ensure_pending_table()
@@ -176,12 +179,14 @@ class Coordinator:
 
     # -- data-change retries ----------------------------------------------------------------
 
+    def _is_coordination_table(self, table_name: str) -> bool:
+        """Tables whose changes are coordination side effects, not base data."""
+        return table_name.lower() == PENDING_TABLE or table_name in self.registry.names()
+
     def _on_data_change(self, table_name: str, kind: str) -> None:
-        if self._executing:
+        if getattr(self._executing, "active", False):
             return
-        if table_name.lower() == PENDING_TABLE:
-            return
-        if table_name in self.registry.names():
+        if self._is_coordination_table(table_name):
             return
         if kind in ("insert", "update", "delete", "truncate"):
             self._data_dirty = True
@@ -202,18 +207,18 @@ class Coordinator:
         query = self._coerce_query(query, owner)
 
         request = CoordinationRequest(query=query)
-        try:
-            request.analysis = check(query)
-        except EntanglementError as exc:
-            request.status = QueryStatus.REJECTED
-            request.error = str(exc)
+        rejection = self._run_static_checks(request)
+        if rejection is not None:
             with self._lock:
                 self._requests[query.query_id] = request
                 self.statistics.queries_rejected += 1
             self.events.publish(
-                EventType.QUERY_REJECTED, query_id=query.query_id, owner=owner, reason=str(exc)
+                EventType.QUERY_REJECTED,
+                query_id=query.query_id,
+                owner=owner,
+                reason=str(rejection),
             )
-            raise
+            raise rejection
 
         with self._lock:
             if query.query_id in self._pool or query.query_id in self._requests:
@@ -257,18 +262,15 @@ class Coordinator:
             for query in compiled:
                 request = CoordinationRequest(query=query)
                 batch.append(request)
-                try:
-                    request.analysis = check(query)
-                except EntanglementError as exc:
-                    request.status = QueryStatus.REJECTED
-                    request.error = str(exc)
+                rejection = self._run_static_checks(request)
+                if rejection is not None:
                     self._requests.setdefault(query.query_id, request)
                     self.statistics.queries_rejected += 1
                     self.events.publish(
                         EventType.QUERY_REJECTED,
                         query_id=query.query_id,
                         owner=query.owner,
-                        reason=str(exc),
+                        reason=str(rejection),
                     )
                     continue
                 if query.query_id in self._pool or query.query_id in self._requests:
@@ -307,13 +309,32 @@ class Coordinator:
             return query.replace_owner(owner)
         return query
 
+    @staticmethod
+    def _run_static_checks(request: CoordinationRequest) -> Optional[EntanglementError]:
+        """Safety / uniqueness analysis; marks the request REJECTED on failure."""
+        try:
+            request.analysis = check(request.query)
+            return None
+        except EntanglementError as exc:
+            request.status = QueryStatus.REJECTED
+            request.error = str(exc)
+            return exc
+
+    def _add_pending(self, query: ir.EntangledQuery) -> None:
+        """Insert a query into pending bookkeeping (lock held).
+
+        The sharded coordinator overrides this (and :meth:`_remove_pending`)
+        to route the query into the shard owning its relation signature.
+        """
+        self._pool[query.query_id] = query
+        self._index.add_query(query)
+
     def _register_locked(self, request: CoordinationRequest) -> None:
         """Add a checked request to the pool and index (lock held, no matching)."""
         query = request.query
         for atom in list(query.heads) + list(query.answer_atoms):
             self.registry.ensure(atom.relation, atom.arity)
-        self._pool[query.query_id] = query
-        self._index.add_query(query)
+        self._add_pending(query)
         self._requests[query.query_id] = request
         self.statistics.queries_registered += 1
         self.events.publish(
@@ -331,7 +352,15 @@ class Coordinator:
         if trigger.query_id not in self._pool:
             return None
         group = self._matcher.find_group(trigger, self._pool, self._index)
-        succeeded = group is not None
+        self._note_match_attempt(trigger, group, pool_size=len(self._pool))
+        if group is None:
+            return None
+        return self._execute_group_locked(group)
+
+    def _note_match_attempt(
+        self, trigger: ir.EntangledQuery, group: Optional[MatchedGroup], pool_size: int
+    ) -> None:
+        """Record statistics and the MATCH_ATTEMPTED event for one attempt."""
         if group is not None:
             self.statistics.record_match_attempt(True, group.statistics)
         else:
@@ -341,15 +370,13 @@ class Coordinator:
         self.events.publish(
             EventType.MATCH_ATTEMPTED,
             query_id=trigger.query_id,
-            succeeded=succeeded,
-            pool_size=len(self._pool),
+            succeeded=group is not None,
+            pool_size=pool_size,
         )
-        if group is None:
-            return None
-        return self._execute_group_locked(group)
 
-    def _execute_group_locked(self, group: MatchedGroup) -> Optional[ExecutionOutcome]:
-        self._executing = True
+    def _run_executor(self, group: MatchedGroup) -> Optional[ExecutionOutcome]:
+        """Joint execution with failure bookkeeping; ``None`` on rollback."""
+        self._executing.active = True
         try:
             outcome = self.executor.execute(group)
         except ExecutionError as exc:
@@ -361,8 +388,17 @@ class Coordinator:
             )
             return None
         finally:
-            self._executing = False
+            self._executing.active = False
+        return outcome
 
+    def _remove_pending(self, query_id: str) -> None:
+        """Drop an answered query from pending bookkeeping (lock held)."""
+        query = self._pool.pop(query_id)
+        self._index.remove_query(query)
+
+    def _finalize_outcome_locked(self, outcome: ExecutionOutcome) -> ExecutionOutcome:
+        """Mark every group member answered and notify observers (lock held)."""
+        group = outcome.group
         self.statistics.groups_matched += 1
         group_ids = tuple(group.query_ids)
         self.events.publish(
@@ -378,8 +414,7 @@ class Coordinator:
             request.group_query_ids = group_ids
             request.answered_at = time.time()
             self.statistics.queries_answered += 1
-            query = self._pool.pop(answer.query_id)
-            self._index.remove_query(query)
+            self._remove_pending(answer.query_id)
             self._update_pending_row(request)
             self.events.publish(
                 EventType.QUERY_ANSWERED,
@@ -396,6 +431,12 @@ class Coordinator:
         for request in answered_requests:
             self._fire_done_callbacks_locked(request)
         return outcome
+
+    def _execute_group_locked(self, group: MatchedGroup) -> Optional[ExecutionOutcome]:
+        outcome = self._run_executor(group)
+        if outcome is None:
+            return None
+        return self._finalize_outcome_locked(outcome)
 
     def retry_pending(self) -> int:
         """Re-attempt coordination for every pending query.
@@ -492,21 +533,35 @@ class Coordinator:
             pass
 
     def cancel(self, query_id: str) -> None:
-        """Withdraw a pending query from the pool."""
+        """Withdraw a pending query from the pool.
+
+        Raises :class:`~repro.errors.QueryAlreadyAnsweredError` when the query
+        was already matched — its group's effects are durable and the request
+        record must not be mutated — and the plain
+        :class:`~repro.errors.QueryNotPendingError` for unknown, cancelled or
+        rejected queries.
+        """
         with self._lock:
             request = self._requests.get(query_id)
-            if request is None or query_id not in self._pool:
+            if request is None:
                 raise QueryNotPendingError(query_id)
-            query = self._pool.pop(query_id)
-            self._index.remove_query(query)
-            request.status = QueryStatus.CANCELLED
-            self.statistics.queries_cancelled += 1
-            self._update_pending_row(request)
-            self.events.publish(
-                EventType.QUERY_CANCELLED, query_id=query_id, owner=request.owner
-            )
-            self._fire_done_callbacks_locked(request)
-            self._answered.notify_all()
+            if request.status is QueryStatus.ANSWERED:
+                raise QueryAlreadyAnsweredError(query_id)
+            if query_id not in self._pool:
+                raise QueryNotPendingError(query_id)
+            self._remove_pending(query_id)
+            self._cancel_registered_locked(request)
+
+    def _cancel_registered_locked(self, request: CoordinationRequest) -> None:
+        """Shared cancellation bookkeeping once the query left its pool."""
+        request.status = QueryStatus.CANCELLED
+        self.statistics.queries_cancelled += 1
+        self._update_pending_row(request)
+        self.events.publish(
+            EventType.QUERY_CANCELLED, query_id=request.query_id, owner=request.owner
+        )
+        self._fire_done_callbacks_locked(request)
+        self._answered.notify_all()
 
     # -- inspection ------------------------------------------------------------------------------------------
 
@@ -539,3 +594,32 @@ class Coordinator:
     def provider_index_size(self) -> int:
         with self._lock:
             return len(self._index)
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard introspection; the inline coordinator is one big shard."""
+        with self._lock:
+            return [
+                {
+                    "shard": 0,
+                    "pending": len(self._pool),
+                    "index_size": len(self._index),
+                    "queued_events": 0,
+                    "dirty": int(self._data_dirty),
+                    "cross_shard": 0,
+                }
+            ]
+
+    # -- lifecycle (uniform surface with the sharded coordinator) ----------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until no match events are queued or in flight.
+
+        The inline coordinator matches synchronously inside ``submit``, so
+        there is never queued work; this exists so callers can treat both
+        coordinator flavours uniformly.
+        """
+        del timeout
+        return True
+
+    def shutdown(self) -> None:
+        """Stop background matching resources (no-op for the inline path)."""

@@ -30,7 +30,16 @@ class CoordinationStatistics:
     unification_attempts: int = 0
     grounding_attempts: int = 0
     domain_queries: int = 0
+    match_events: int = 0
+    retry_sweeps: int = 0
+    cross_shard_passes: int = 0
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False, compare=False)
+
+    def increment(self, **deltas: int) -> None:
+        """Atomically bump a set of counters (used by worker threads)."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def record_match_attempt(self, succeeded: bool, match_stats: MatchStatistics) -> None:
         with self._lock:
@@ -58,4 +67,7 @@ class CoordinationStatistics:
             "unification_attempts": self.unification_attempts,
             "grounding_attempts": self.grounding_attempts,
             "domain_queries": self.domain_queries,
+            "match_events": self.match_events,
+            "retry_sweeps": self.retry_sweeps,
+            "cross_shard_passes": self.cross_shard_passes,
         }

@@ -76,7 +76,13 @@ class YoutopiaSystem:
         self.events = EventBus()
         self.rng = random.Random(config.seed)
         self.executor = JointExecutor(self.engine, self.answer_relations, self.transactions)
-        self.coordinator = Coordinator(
+        if config.match_workers > 0:
+            from repro.core.sharding import ShardedCoordinator
+
+            coordinator_cls: type[Coordinator] = ShardedCoordinator
+        else:
+            coordinator_cls = Coordinator
+        self.coordinator = coordinator_cls(
             database=self.database,
             engine=self.engine,
             registry=self.answer_relations,
@@ -93,6 +99,7 @@ class YoutopiaSystem:
     # -- lifecycle -------------------------------------------------------------------------
 
     def close(self) -> None:
+        self.coordinator.shutdown()
         if self._mirror is not None:
             self._mirror.close()
             self._mirror = None
@@ -187,6 +194,14 @@ class YoutopiaSystem:
     def retry_pending(self) -> int:
         return self.coordinator.retry_pending()
 
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until background match workers processed every queued event.
+
+        Always ``True`` immediately on the inline (``match_workers == 0``)
+        path, where matching happens synchronously inside ``submit``.
+        """
+        return self.coordinator.drain(timeout)
+
     # -- answer relations -------------------------------------------------------------------------
 
     def declare_answer_relation(
@@ -235,6 +250,10 @@ class YoutopiaSystem:
 
     def pending_queries(self) -> list[ir.EntangledQuery]:
         return self.coordinator.pending_queries()
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard pending/index/queue sizes (one pseudo-shard when inline)."""
+        return self.coordinator.shard_stats()
 
     def statistics(self) -> dict[str, int]:
         merged = dict(self.coordinator.statistics.as_dict())

@@ -140,6 +140,25 @@ class QueryNotPendingError(EntanglementError):
         self.query_id = query_id
 
 
+class QueryAlreadyAnsweredError(QueryNotPendingError):
+    """A pending-only operation (e.g. ``cancel``) hit an already-matched query.
+
+    Subclasses :class:`QueryNotPendingError` so existing handlers that treat
+    "the query is gone from the pool" generically keep working, while callers
+    that care can distinguish "matched and answered" from "never registered /
+    already cancelled".
+    """
+
+    def __init__(self, query_id: str) -> None:
+        # Skip QueryNotPendingError.__init__ to carry the precise message.
+        EntanglementError.__init__(
+            self,
+            f"entangled query {query_id!r} was already matched and answered; "
+            f"its group's effects are durable and cannot be cancelled",
+        )
+        self.query_id = query_id
+
+
 class CoordinationTimeoutError(EntanglementError):
     """A blocking wait for coordination did not complete within the deadline."""
 

@@ -152,11 +152,15 @@ class ServiceStats:
 
     ``counters`` carries the monotonic counters of
     :class:`~repro.core.stats.CoordinationStatistics` (plus transaction
-    counts); ``pending`` is the current pending-pool size.
+    counts); ``pending`` is the current pending-pool size.  ``shards``
+    describes the sharded coordinator's per-shard state (pending set size,
+    provider-index size, queued match events, dirty flag); the inline
+    coordinator reports itself as one pseudo-shard.
     """
 
     counters: Mapping[str, int]
     pending: int = 0
+    shards: tuple[Mapping[str, int], ...] = ()
 
     def __getitem__(self, key: str) -> int:
         return self.counters[key]

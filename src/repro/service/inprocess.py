@@ -150,7 +150,12 @@ class InProcessService:
         return ServiceStats(
             counters=self.system.statistics(),
             pending=self.coordinator.pending_count(),
+            shards=tuple(self.coordinator.shard_stats()),
         )
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until background match workers processed every queued event."""
+        return self.coordinator.drain(timeout)
 
     # -- introspection extensions (IntrospectionService) ------------------------------------------
 

@@ -1,0 +1,187 @@
+"""Fuzz harness: sharded matching is group-equivalent to the single-lock matcher.
+
+For ≥200 randomly generated pools of entangled queries, the same compiled IR
+is submitted in the same order to
+
+* an inline single-lock system (``match_workers=0``, the seed behaviour), and
+* a sharded event-driven system (workers + shards + cross-shard fallback),
+
+and the resulting *query-id partition* must be identical: the same set of
+answered groups and the same set of still-pending queries.  Pools are built
+so the partition is unique — every entangled constraint names its partner by
+a distinct constant — which makes the comparison independent of the matcher's
+randomised exploration order.
+
+Pool ingredients (mixed per pool, all over 4 answer relations so queries
+spread across shards):
+
+* matchable pairs (the Jerry/Kramer shape),
+* triangles A→B→C→A on one relation,
+* cross-relation pairs whose two relations may hash to *different* shards —
+  these live in the global residence and exercise the cross-shard pass,
+* unmatchable singletons (partner never arrives),
+* grounding-fail pairs that unify structurally but have empty / disjoint
+  flight domains, so they permanently occupy the pending pool.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import SystemConfig
+from repro.core.coordinator import QueryStatus
+from repro.core.sharding import ShardedCoordinator, relation_signature, route_signature
+from repro.core.system import YoutopiaSystem
+
+RELATIONS = ("ResA", "ResB", "ResC", "ResD")
+# Paris/Rome have flights, Atlantis never does (grounding-fail fuel).
+DESTINATIONS = ("Paris", "Rome")
+
+NUM_POOLS = 200
+SHARD_COUNT = 2
+MATCH_WORKERS = 2
+
+
+def build_system(match_workers: int) -> YoutopiaSystem:
+    config = SystemConfig(
+        seed=7, match_workers=match_workers, shard_count=SHARD_COUNT
+    )
+    system = YoutopiaSystem(config=config)
+    system.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
+    system.execute(
+        "INSERT INTO Flights VALUES "
+        "(1, 'Paris'), (2, 'Paris'), (3, 'Paris'), (4, 'Rome'), (5, 'Rome')"
+    )
+    for relation in RELATIONS:
+        system.declare_answer_relation(relation, ["traveler", "fno"], ["TEXT", "INTEGER"])
+    return system
+
+
+class PoolBuilder:
+    """Generates one random pool of entangled SQL with a unique partition."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self._counter = 0
+        self.statements: list[str] = []
+
+    def _users(self, count: int) -> list[str]:
+        users = [f"u{self._counter + offset}" for offset in range(count)]
+        self._counter += count
+        return users
+
+    def _entangled(self, user: str, partner: str, head_rel: str, need_rel: str, dest: str) -> str:
+        return (
+            f"SELECT '{user}', fno INTO ANSWER {head_rel} "
+            f"WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') "
+            f"AND ('{partner}', fno) IN ANSWER {need_rel} CHOOSE 1"
+        )
+
+    def add_pair(self) -> None:
+        left, right = self._users(2)
+        relation = self.rng.choice(RELATIONS)
+        dest = self.rng.choice(DESTINATIONS)
+        self.statements.append(self._entangled(left, right, relation, relation, dest))
+        self.statements.append(self._entangled(right, left, relation, relation, dest))
+
+    def add_triangle(self) -> None:
+        first, second, third = self._users(3)
+        relation = self.rng.choice(RELATIONS)
+        dest = self.rng.choice(DESTINATIONS)
+        self.statements.append(self._entangled(first, second, relation, relation, dest))
+        self.statements.append(self._entangled(second, third, relation, relation, dest))
+        self.statements.append(self._entangled(third, first, relation, relation, dest))
+
+    def add_cross_relation_pair(self) -> None:
+        left, right = self._users(2)
+        rel_left, rel_right = self.rng.sample(RELATIONS, 2)
+        dest = self.rng.choice(DESTINATIONS)
+        self.statements.append(self._entangled(left, right, rel_left, rel_right, dest))
+        self.statements.append(self._entangled(right, left, rel_right, rel_left, dest))
+
+    def add_unmatchable(self) -> None:
+        (user,) = self._users(1)
+        relation = self.rng.choice(RELATIONS)
+        self.statements.append(
+            self._entangled(user, f"ghost-{user}", relation, relation, self.rng.choice(DESTINATIONS))
+        )
+
+    def add_grounding_fail_pair(self) -> None:
+        left, right = self._users(2)
+        relation = self.rng.choice(RELATIONS)
+        if self.rng.random() < 0.5:
+            dests = ("Paris", "Atlantis")  # empty domain on one side
+        else:
+            dests = ("Paris", "Rome")  # both non-empty but disjoint fnos
+        self.statements.append(self._entangled(left, right, relation, relation, dests[0]))
+        self.statements.append(self._entangled(right, left, relation, relation, dests[1]))
+
+    def build(self) -> list[str]:
+        generators = [
+            (self.add_pair, 4),
+            (self.add_triangle, 1),
+            (self.add_cross_relation_pair, 2),
+            (self.add_unmatchable, 2),
+            (self.add_grounding_fail_pair, 2),
+        ]
+        for generator, weight in generators:
+            for _ in range(self.rng.randint(0, weight)):
+                generator()
+        if not self.statements:
+            self.add_pair()
+        self.rng.shuffle(self.statements)
+        return self.statements
+
+
+def outcome_partition(system: YoutopiaSystem) -> tuple[set[frozenset[str]], set[str]]:
+    groups: set[frozenset[str]] = set()
+    pending: set[str] = set()
+    for request in system.coordinator.requests():
+        if request.status is QueryStatus.ANSWERED:
+            groups.add(frozenset(request.group_query_ids))
+        elif request.status is QueryStatus.PENDING:
+            pending.add(request.query_id)
+    return groups, pending
+
+
+def test_sharded_matching_is_group_equivalent_over_200_random_pools():
+    total_groups = 0
+    total_pending = 0
+    total_cross_shard = 0
+    for seed in range(NUM_POOLS):
+        rng = random.Random(seed)
+        statements = PoolBuilder(rng).build()
+
+        inline_system = build_system(match_workers=0)
+        sharded_system = build_system(match_workers=MATCH_WORKERS)
+        try:
+            # compile once so both systems see identical query ids
+            compiled = [inline_system.compile(sql) for sql in statements]
+            for query in compiled:
+                inline_system.submit_entangled(query)
+            for query in compiled:
+                sharded_system.submit_entangled(query)
+            assert isinstance(sharded_system.coordinator, ShardedCoordinator)
+            assert sharded_system.drain(timeout=30.0), f"pool {seed} did not drain"
+
+            inline_groups, inline_pending = outcome_partition(inline_system)
+            sharded_groups, sharded_pending = outcome_partition(sharded_system)
+            assert sharded_groups == inline_groups, f"pool {seed}: answered groups differ"
+            assert sharded_pending == inline_pending, f"pool {seed}: pending sets differ"
+            assert not sharded_system.coordinator.worker_pool.errors
+
+            total_groups += len(inline_groups)
+            total_pending += len(inline_pending)
+            total_cross_shard += sum(
+                1
+                for query in compiled
+                if route_signature(relation_signature(query), SHARD_COUNT) is None
+            )
+        finally:
+            inline_system.close()
+            sharded_system.close()
+
+    # the harness must actually exercise the interesting paths
+    assert total_groups > 100
+    assert total_pending > 100
+    assert total_cross_shard > 50

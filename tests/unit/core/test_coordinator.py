@@ -12,6 +12,7 @@ from repro.core.system import YoutopiaSystem
 from repro.errors import (
     CoordinationTimeoutError,
     EntanglementError,
+    QueryAlreadyAnsweredError,
     QueryNotPendingError,
     SafetyError,
 )
@@ -122,6 +123,27 @@ class TestWaitAndCancel:
         system.cancel(kramer.query_id)
         with pytest.raises(QueryNotPendingError):
             system.cancel(kramer.query_id)
+
+    def test_cancel_answered_query_raises_typed_error(self, system):
+        """Regression: cancelling a matched query must fail loudly and typed.
+
+        The group's effects (answer tuples, side effects) are durable; the
+        request record must stay ANSWERED and untouched.
+        """
+        kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
+        jerry = system.submit_entangled(JERRY_SQL, owner="Jerry")
+        assert kramer.status is QueryStatus.ANSWERED
+        with pytest.raises(QueryAlreadyAnsweredError) as excinfo:
+            system.cancel(kramer.query_id)
+        assert excinfo.value.query_id == kramer.query_id
+        # typed error is still a QueryNotPendingError for generic handlers
+        assert isinstance(excinfo.value, QueryNotPendingError)
+        # nothing was mutated by the failed cancel
+        assert kramer.status is QueryStatus.ANSWERED
+        assert kramer.answer is not None
+        assert set(kramer.group_query_ids) == {kramer.query_id, jerry.query_id}
+        assert system.statistics()["queries_cancelled"] == 0
+        assert len(system.answers("Reservation")) == 2
 
     def test_wait_on_cancelled_query_raises(self, system):
         kramer = system.submit_entangled(KRAMER_SQL, owner="Kramer")
