@@ -70,10 +70,13 @@ from repro.errors import YoutopiaError
 from repro.relalg import QueryEngine, QueryResult
 from repro.service import (
     AnswerEnvelope,
+    CoordinationServer,
     CoordinationService,
     InProcessService,
     IntrospectionService,
     RelationResult,
+    RemoteHandle,
+    RemoteService,
     RequestHandle,
     ServiceStats,
     SubmitRequest,
@@ -87,6 +90,7 @@ __all__ = [
     "AnswerEnvelope",
     "AnswerRelationRegistry",
     "CoordinationRequest",
+    "CoordinationServer",
     "CoordinationService",
     "Coordinator",
     "Database",
@@ -104,6 +108,8 @@ __all__ = [
     "QueryResult",
     "QueryStatus",
     "RelationResult",
+    "RemoteHandle",
+    "RemoteService",
     "RequestHandle",
     "ServiceStats",
     "ShardedCoordinator",

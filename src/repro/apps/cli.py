@@ -7,22 +7,34 @@ The :class:`CommandLine` class is fully scriptable (``run_line`` /
 ``run_script`` return the printed text), which is how the integration tests
 and the ``examples/cli_session.py`` example drive it; :func:`main` wraps it in
 an interactive read-eval-print loop.  All statement traffic flows through the
-coordination service layer (:class:`~repro.service.InProcessService`);
-deep-introspection dot-commands (``.schema``, ``.explain``) reach into the
-in-process system the service wraps.
+coordination service layer, so the same shell drives an in-process system
+(:class:`~repro.service.InProcessService`) or a remote one
+(:class:`~repro.service.remote.RemoteService`).  Deep-introspection
+dot-commands (``.schema``, ``.explain``, ``.describe``, ``.graph``) reach
+into the in-process system the service wraps and report themselves as
+unavailable over a network connection.
+
+Sub-commands of :func:`main`:
+
+* ``youtopia-cli`` — interactive shell on a fresh in-process system;
+* ``youtopia-cli serve [--host] [--port] [--seed] [--script file.sql]`` —
+  host a :class:`~repro.service.remote.CoordinationServer`;
+* ``youtopia-cli connect [--host] [--port]`` — shell against a remote server.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Iterable, Optional, Union
 
+from repro.core.config import SystemConfig
 from repro.core.coordinator import QueryStatus
 from repro.core.system import YoutopiaSystem
 from repro.errors import YoutopiaError
 from repro.service.api import RelationResult
-from repro.service.handles import RequestHandle
 from repro.service.inprocess import InProcessService
+from repro.service.remote import CoordinationServer, RemoteService
 
 _HELP_TEXT = """\
 Youtopia SQL command line.
@@ -68,7 +80,7 @@ class CommandLine:
 
     def __init__(
         self,
-        system: Optional[Union[YoutopiaSystem, InProcessService]] = None,
+        system: Optional[Union[YoutopiaSystem, InProcessService, RemoteService]] = None,
         user: Optional[str] = None,
     ) -> None:
         if system is None:
@@ -77,7 +89,9 @@ class CommandLine:
             self.service = system.service()
         else:
             self.service = system
-        self.system = self.service.system
+        # None when the service is a network proxy: deep-introspection
+        # dot-commands need the in-process system and degrade gracefully.
+        self.system = getattr(self.service, "system", None)
         self.user = user
         self.done = False
 
@@ -106,7 +120,7 @@ class CommandLine:
         for result in self.service.execute_script(sql, owner=self.user):
             if isinstance(result, RelationResult):
                 outputs.append(self._format_query_result(result))
-            elif isinstance(result, RequestHandle):
+            else:  # a handle — in-process RequestHandle or RemoteHandle
                 outputs.append(self._format_request(result))
         return "\n".join(output for output in outputs if output)
 
@@ -119,7 +133,7 @@ class CommandLine:
         return f"{result.command}: ok"
 
     @staticmethod
-    def _format_request(request: RequestHandle) -> str:
+    def _format_request(request) -> str:
         if request.status is QueryStatus.ANSWERED and request.answer is not None:
             tuples = ", ".join(
                 f"{relation}{values}" for relation, values in request.answer.all_tuples()
@@ -145,6 +159,11 @@ class CommandLine:
             return "bye"
         if name == ".help":
             return _HELP_TEXT
+        if self.system is None and name in (".tables", ".schema", ".describe", ".graph", ".explain"):
+            return (
+                f"{name} needs the in-process system and is not available "
+                "over a remote connection"
+            )
         if name == ".tables":
             return "\n".join(self.system.database.table_names())
         if name == ".schema":
@@ -182,7 +201,10 @@ class CommandLine:
             if argument is None:
                 return "usage: .answers RELATION"
             tuples = self.service.answers(argument)
-            columns = list(self.system.database.schema(argument).column_names)
+            if self.system is not None:
+                columns = list(self.system.database.schema(argument).column_names)
+            else:  # remote connection: the catalog is server-side
+                columns = [f"c{index}" for index in range(len(tuples[0]))] if tuples else []
             return format_result_table(columns, tuples)
         if name == ".requests":
             requests = self.service.requests()
@@ -209,11 +231,46 @@ class CommandLine:
         return f"unknown command {name!r} (try .help)"
 
 
-def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interactive loop
-    """Interactive entry point (``youtopia-cli``)."""
-    del argv
-    shell = CommandLine()
-    print("Youtopia SQL shell — type .help for help, .quit to exit")
+def build_parser() -> argparse.ArgumentParser:
+    """The ``youtopia-cli`` argument parser (separate for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="youtopia-cli",
+        description="Youtopia SQL shell, coordination server, and remote client.",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    serve = commands.add_parser("serve", help="host a coordination service over TCP")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=7399, help="port to bind (0 = ephemeral)")
+    serve.add_argument("--seed", type=int, default=None, help="CHOOSE tie-break seed")
+    serve.add_argument(
+        "--script", default=None, help="SQL script to run before serving (schema + data)"
+    )
+
+    connect = commands.add_parser("connect", help="open a shell against a remote server")
+    connect.add_argument("--host", default="127.0.0.1", help="server host")
+    connect.add_argument("--port", type=int, default=7399, help="server port")
+    return parser
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 7399,
+    seed: Optional[int] = None,
+    script: Optional[str] = None,
+) -> CoordinationServer:
+    """Assemble (and start) the server the ``serve`` sub-command runs."""
+    service = InProcessService(config=SystemConfig(seed=seed))
+    if script:
+        with open(script, "r", encoding="utf-8") as handle:
+            service.execute_script(handle.read())
+    server = CoordinationServer(service=service, host=host, port=port, close_service=True)
+    server.start()
+    return server
+
+
+def _repl(shell: CommandLine, banner: str) -> int:  # pragma: no cover - interactive loop
+    print(banner)
     while not shell.done:
         try:
             line = input("youtopia> ")
@@ -223,6 +280,30 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
         if output:
             print(output)
     return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interactive entry
+    """Entry point (``youtopia-cli [serve|connect]``)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        server = build_server(args.host, args.port, seed=args.seed, script=args.script)
+        host, port = server.address
+        print(f"youtopia coordination server listening on {host}:{port}")
+        try:
+            server.wait_stopped()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            server.stop()
+        return 0
+    if args.command == "connect":
+        service = RemoteService.connect(args.host, args.port)
+        return _repl(
+            CommandLine(service),
+            f"Youtopia SQL shell — connected to {args.host}:{args.port}; "
+            ".help for help, .quit to exit",
+        )
+    return _repl(CommandLine(), "Youtopia SQL shell — type .help for help, .quit to exit")
 
 
 if __name__ == "__main__":  # pragma: no cover

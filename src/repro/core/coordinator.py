@@ -409,10 +409,13 @@ class Coordinator:
         answered_requests: list[CoordinationRequest] = []
         for answer in outcome.answers:
             request = self._requests[answer.query_id]
-            request.status = QueryStatus.ANSWERED
+            # status flips last: it is the commit point for lock-free readers
+            # (the remote server snapshots records without taking this lock),
+            # so a record seen as ANSWERED always carries its answer.
             request.answer = answer
             request.group_query_ids = group_ids
             request.answered_at = time.time()
+            request.status = QueryStatus.ANSWERED
             self.statistics.queries_answered += 1
             self._remove_pending(answer.query_id)
             self._update_pending_row(request)

@@ -1,9 +1,17 @@
 """Event bus for coordination lifecycle notifications.
 
-The demo notifies users "via a Facebook message" when their coordination
-request succeeds.  Internally that is just a subscription to coordination
-events; the travel application's mailbox, the admin interface's activity log
-and the tests all observe the system through this bus.
+**Role**: the observation seam of the coordination component — every state
+transition a registered query goes through (registered, match attempted,
+group matched, answered, cancelled, rejected, timed out, execution failed)
+is published here as a typed :class:`Event`.
+
+**Paper correspondence**: Section 3.1 of the demo paper, where users are
+notified "via a Facebook message" when their coordination request succeeds.
+Internally that notification is just a subscription to coordination events;
+the travel application's mailbox, the admin interface's activity log and the
+tests all observe the system through this bus.  Subscribers run
+synchronously inside coordination and must not call back into the
+coordinator (use the service layer's done-callbacks for that).
 """
 
 from __future__ import annotations

@@ -1,8 +1,12 @@
 """Joint execution of a matched group of entangled queries.
 
-"The execution engine evaluates queries on the database as required by the
-coordination component, as well as executing any other queries and updates
-that may be necessary" (demo paper, Section 2.2).  After the matcher has found
+**Role**: turn a matched group plus its consistent grounding into durable
+answer-relation rows and side effects, atomically.
+
+**Paper correspondence**: "The execution engine evaluates queries on the
+database as required by the coordination component, as well as executing any
+other queries and updates that may be necessary" (demo paper, Section 2.2).
+After the matcher has found
 a group and a consistent grounding, the :class:`JointExecutor` makes the
 answers durable: inside one transaction it inserts every instantiated head
 tuple into its answer relation and runs any registered side-effect hooks

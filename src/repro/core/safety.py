@@ -1,9 +1,14 @@
 """Static analysis of entangled queries: safety and uniqueness (origin) checks.
 
-The companion technical paper of the demo ("Entangled queries", SIGMOD 2011)
-restricts the language to a fragment where evaluation is tractable.  Two
-conditions matter in practice and both are checked here before a query is
-admitted to the pending pool:
+**Role**: the admission control of the coordination component — every query
+is analysed here before it may enter the pending pool, so the matcher only
+ever sees queries it can evaluate in polynomial time.
+
+**Paper correspondence**: Section 2.1 of the demo paper introduces the
+language restrictions; the companion technical paper ("Entangled queries",
+SIGMOD 2011) restricts the language to a fragment where evaluation is
+tractable.  Two conditions matter in practice and both are checked here
+before a query is admitted to the pending pool:
 
 * **Safety** (range restriction): every variable that appears in a head atom,
   in an answer-constraint atom or in a residual predicate must be bound by a

@@ -1,11 +1,15 @@
 """A minimal transaction layer over the in-memory catalog.
 
-Youtopia answers a matched group of entangled queries *jointly*: either every
-query in the group receives its answer tuple (and every side-effect row is
-written) or none does.  The demo paper leans on the DBMS's usual transactional
-machinery for this; our substrate provides the same guarantee with whole-
-database snapshots — perfectly adequate at laptop scale and easy to reason
-about.
+**Role**: the atomicity substrate of joint execution.  Youtopia answers a
+matched group of entangled queries *jointly*: either every query in the
+group receives its answer tuple (and every side-effect row is written) or
+none does.
+
+**Paper correspondence**: Section 2.2 of the demo paper, where the execution
+engine runs "queries and updates" on behalf of the coordination component
+and leans on the DBMS's usual transactional machinery for all-or-nothing
+effects; our substrate provides the same guarantee with whole-database
+snapshots — perfectly adequate at laptop scale and easy to reason about.
 
 The manager also doubles as the system's coarse concurrency control: a single
 re-entrant lock serialises transactions, which is the "isolation by default"

@@ -202,6 +202,42 @@ class ScriptError(YoutopiaError):
 
 
 # ---------------------------------------------------------------------------
+# Remote transport
+# ---------------------------------------------------------------------------
+
+
+class ServiceUnavailableError(YoutopiaError):
+    """The remote coordination service cannot be reached (or went away).
+
+    Raised by :class:`~repro.service.remote.RemoteService` when the TCP
+    connection to the :class:`~repro.service.remote.CoordinationServer` cannot
+    be established, is closed by the server, or dies mid-call.  Every RPC in
+    flight and every non-terminal handle fails fast with this error — clients
+    never hang on a dead connection.
+
+    Attributes
+    ----------
+    reason:
+        A short description of why the service is unavailable.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"coordination service unavailable: {reason}")
+        self.reason = reason
+
+
+class ProtocolError(YoutopiaError):
+    """A wire-protocol violation between a remote client and the server.
+
+    Raised for malformed frames (bad length prefix, invalid JSON, missing
+    envelope fields), protocol-version mismatches, oversized frames, and
+    requests for operations the peer does not support.  Unlike
+    :class:`ServiceUnavailableError` this signals a *bug or incompatibility*,
+    not a liveness problem.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Applications
 # ---------------------------------------------------------------------------
 

@@ -13,10 +13,14 @@ Public surface (also re-exported from the top-level :mod:`repro` package):
 * :class:`~repro.service.handles.RequestHandle` — future-style handles
 * :class:`~repro.service.inprocess.InProcessService` — the in-process
   implementation
+* :class:`~repro.service.remote.CoordinationServer` /
+  :class:`~repro.service.remote.RemoteService` — the JSON-over-TCP network
+  transport (same protocols, remote system)
 * :class:`~repro.core.config.SystemConfig` — typed system configuration
 
-See ``docs/API.md`` for the full contract and the migration table from the
-old :class:`~repro.core.system.YoutopiaSystem` facade calls.
+See ``docs/API.md`` for the full contract, the remote deployment guide and
+the migration table from the old :class:`~repro.core.system.YoutopiaSystem`
+facade calls; ``docs/ARCHITECTURE.md`` places this layer in the system map.
 """
 
 from repro.core.config import SystemConfig
@@ -31,16 +35,28 @@ from repro.service.api import (
 )
 from repro.service.handles import RequestHandle
 from repro.service.inprocess import InProcessService
+from repro.service.remote import (
+    CoordinationServer,
+    RemoteHandle,
+    RemoteService,
+    connect,
+    serve,
+)
 
 __all__ = [
     "AnswerEnvelope",
+    "CoordinationServer",
     "CoordinationService",
     "InProcessService",
     "IntrospectionService",
     "RelationResult",
+    "RemoteHandle",
+    "RemoteService",
     "RequestHandle",
     "ServiceStats",
     "Submittable",
     "SubmitRequest",
     "SystemConfig",
+    "connect",
+    "serve",
 ]

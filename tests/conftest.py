@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Make sibling helper modules (service_conformance.py) importable from test
+# modules in any subdirectory, mirroring the src/ shim in the root conftest.
+_TESTS = Path(__file__).resolve().parent
+if str(_TESTS) not in sys.path:
+    sys.path.insert(0, str(_TESTS))
 
 from repro.apps.travel.dataset import TravelDataset, generate_dataset, install_and_load
 from repro.apps.travel.service import TravelService

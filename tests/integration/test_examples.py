@@ -23,6 +23,11 @@ EXPECTED_OUTPUT = {
     "cli_session.py": ["youtopia>", "ANSWERED"],
     "admin_walkthrough.py": ["Youtopia system state", "query_registered"],
     "loaded_system.py": ["Sweep 1", "Shape check"],
+    "remote_travel.py": [
+        "Two-process travel booking",
+        "coordinated across 2 queries in 2 processes",
+        "server stopped",
+    ],
 }
 
 

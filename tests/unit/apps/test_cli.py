@@ -139,3 +139,74 @@ class TestDotCommands:
     def test_run_script_returns_one_output_per_line(self, shell):
         outputs = shell.run_script(["SELECT 1", ".tables"])
         assert len(outputs) == 2
+
+
+class TestRemoteShell:
+    """The same shell, driven over the network transport."""
+
+    @pytest.fixture
+    def remote_shell(self, tmp_path):
+        from repro.apps.cli import build_server
+        from repro.service.remote import RemoteService
+
+        script = tmp_path / "schema.sql"
+        script.write_text(
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT);\n"
+            "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (136, 'Rome');\n"
+        )
+        server = build_server(port=0, seed=0, script=str(script))
+        client = RemoteService.connect(*server.address)
+        yield CommandLine(client)
+        client.close()
+        server.stop()
+
+    def test_plain_sql_round_trips(self, remote_shell):
+        output = remote_shell.run_line("SELECT fno FROM Flights WHERE dest = 'Rome'")
+        assert "136" in output and "(1 row)" in output
+        assert "1 row(s) affected" in remote_shell.run_line(
+            "DELETE FROM Flights WHERE fno = 136"
+        )
+
+    def test_entangled_pair_answers_through_the_shell(self, remote_shell):
+        remote_shell.service.declare_answer_relation(
+            "Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"]
+        )
+        first = remote_shell.run_line(KRAMER_SQL)
+        assert "PENDING" in first
+        second = remote_shell.run_line(JERRY_SQL)
+        assert "ANSWERED" in second
+        answers = remote_shell.run_line(".answers Reservation")
+        assert "Kramer" in answers and "Jerry" in answers
+
+    def test_pending_stats_retry_and_cancel_work_remotely(self, remote_shell):
+        remote_shell.service.declare_answer_relation(
+            "Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"]
+        )
+        remote_shell.run_line(KRAMER_SQL)
+        pending = remote_shell.run_line(".pending")
+        assert "Reservation" in pending
+        assert "queries_registered = 1" in remote_shell.run_line(".stats")
+        assert "0 newly answered" in remote_shell.run_line(".retry")
+        query_id = pending.split()[0]
+        assert f"cancelled {query_id}" in remote_shell.run_line(f".cancel {query_id}")
+
+    def test_inprocess_only_commands_degrade_gracefully(self, remote_shell):
+        for command in (".tables", ".schema Flights", ".explain SELECT 1", ".graph"):
+            output = remote_shell.run_line(command)
+            assert "not available over a remote connection" in output
+
+    def test_errors_are_reported_not_raised(self, remote_shell):
+        assert remote_shell.run_line("SELECT * FROM Nowhere").startswith("error:")
+
+
+class TestArgumentParsing:
+    def test_serve_and_connect_subcommands(self):
+        from repro.apps.cli import build_parser
+
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--port", "0", "--seed", "7"])
+        assert (serve.command, serve.port, serve.seed) == ("serve", 0, 7)
+        connect = parser.parse_args(["connect", "--host", "example.org", "--port", "7399"])
+        assert (connect.command, connect.host, connect.port) == ("connect", "example.org", 7399)
+        bare = parser.parse_args([])
+        assert bare.command is None

@@ -1,14 +1,27 @@
-"""Unit tests for the transport-agnostic coordination service layer."""
+"""Unit tests for the transport-agnostic coordination service layer.
+
+The behavioural scenarios live in ``tests/service_conformance.py`` and run
+here against :class:`~repro.service.InProcessService`;
+``tests/integration/test_remote_conformance.py`` runs the same classes
+against a live network transport.  This module keeps only what is specific
+to the in-process implementation: DTO validation and the protocol /
+constructor surface.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.coordinator import QueryStatus
+from service_conformance import (
+    SETUP,
+    BatchConformance,
+    ConcurrencyConformance,
+    IntrospectionConformance,
+    PlainQueryConformance,
+    SubmissionConformance,
+)
 from repro.core.system import YoutopiaSystem
-from repro.errors import CoordinationTimeoutError, EntanglementError, PlanError
 from repro.service import (
-    AnswerEnvelope,
     CoordinationService,
     InProcessService,
     IntrospectionService,
@@ -16,22 +29,6 @@ from repro.service import (
     RequestHandle,
     SubmitRequest,
     SystemConfig,
-)
-
-SETUP = """
-CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT);
-INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (136, 'Rome');
-"""
-
-KRAMER_SQL = (
-    "SELECT 'Kramer', fno INTO ANSWER Reservation "
-    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
-    "AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1"
-)
-JERRY_SQL = (
-    "SELECT 'Jerry', fno INTO ANSWER Reservation "
-    "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
-    "AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1"
 )
 
 
@@ -51,19 +48,8 @@ class TestDTOs:
             SubmitRequest(sql="x", query=object())  # type: ignore[arg-type]
         assert SubmitRequest(sql="SELECT 1").payload() == "SELECT 1"
 
-    def test_relation_result_scalar_and_iteration(self, service):
-        result = service.query("SELECT COUNT(*) FROM Flights")
-        assert isinstance(result, RelationResult)
-        assert result.scalar() == 3
-        rows = service.query("SELECT fno FROM Flights ORDER BY fno")
-        assert len(rows) == 3
-        assert list(rows) == [(122,), (123,), (136,)]
-        with pytest.raises(ValueError):
-            rows.scalar()
-
-    def test_query_rejects_entangled_sql(self, service):
-        with pytest.raises(PlanError):
-            service.query(KRAMER_SQL)
+    def test_relation_result_type(self, service):
+        assert isinstance(service.query("SELECT COUNT(*) FROM Flights"), RelationResult)
 
 
 class TestProtocols:
@@ -81,161 +67,31 @@ class TestProtocols:
         service = system.service()
         assert service.system is system
 
+    def test_submit_returns_request_handle(self, service):
+        from service_conformance import KRAMER_SQL
 
-class TestSubmission:
-    def test_submit_returns_future_style_handle(self, service):
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer", tag="k"))
-        assert isinstance(kramer, RequestHandle)
-        assert kramer.owner == "Kramer" and kramer.tag == "k"
-        assert not kramer.done()
-        jerry = service.submit(JERRY_SQL, owner="Jerry")
-        assert jerry.done() and kramer.done()
-        assert kramer.is_answered and jerry.is_answered
-
-    def test_result_returns_answer_envelope(self, service):
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
-        service.submit(SubmitRequest(sql=JERRY_SQL, owner="Jerry"))
-        envelope = kramer.result(timeout=1.0)
-        assert isinstance(envelope, AnswerEnvelope)
-        assert envelope.owner == "Kramer"
-        assert kramer.query_id in envelope.group and len(envelope.group) == 2
-        (relation, values), *_ = envelope.all_tuples()
-        assert relation == "Reservation" and values[0] == "Kramer"
-
-    def test_result_timeout_raises(self, service):
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
-        with pytest.raises(CoordinationTimeoutError):
-            kramer.result(timeout=0.01)
-
-    def test_exception_surfaces_cancellation(self, service):
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
-        kramer.cancel()
-        assert kramer.cancelled()
-        error = kramer.exception()
-        assert isinstance(error, EntanglementError)
-        with pytest.raises(EntanglementError):
-            kramer.result(timeout=0.1)
-
-    def test_done_callback_fires_on_answer(self, service):
-        fired: list[str] = []
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
-        kramer.add_done_callback(lambda handle: fired.append(handle.query_id))
-        assert fired == []
-        service.submit(SubmitRequest(sql=JERRY_SQL, owner="Jerry"))
-        assert fired == [kramer.query_id]
-
-    def test_done_callback_fires_immediately_when_terminal(self, service):
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
-        service.submit(SubmitRequest(sql=JERRY_SQL, owner="Jerry"))
-        fired: list[str] = []
-        kramer.add_done_callback(lambda handle: fired.append(handle.query_id))
-        assert fired == [kramer.query_id]
-
-    def test_broken_callback_does_not_poison_coordination(self, service):
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
-        kramer.add_done_callback(lambda _handle: 1 / 0)
-        jerry = service.submit(SubmitRequest(sql=JERRY_SQL, owner="Jerry"))
-        assert kramer.is_answered and jerry.is_answered
-
-    def test_handle_equality_is_by_query_id(self, service):
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
-        assert kramer == service.request(kramer.query_id)
-        assert kramer in {service.request(kramer.query_id)}
+        handle = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
+        assert isinstance(handle, RequestHandle)
 
 
-class TestBatchSubmission:
-    def test_submit_many_answers_cross_referencing_pair(self, service):
-        kramer, jerry = service.submit_many(
-            [
-                SubmitRequest(sql=KRAMER_SQL, owner="Kramer", tag="left"),
-                SubmitRequest(sql=JERRY_SQL, owner="Jerry", tag="right"),
-            ]
-        )
-        assert kramer.is_answered and jerry.is_answered
-        assert (kramer.tag, jerry.tag) == ("left", "right")
-        stats = service.stats()
-        assert stats["match_attempts"] == 1
-        assert stats["groups_matched"] == 1
-        assert stats["failed_match_attempts"] == 0
-
-    def test_submit_many_rejected_item_does_not_abort_batch(self, service):
-        unsafe = (
-            "SELECT 'Loner', fno INTO ANSWER Reservation "
-            "WHERE ('Ghost', fno) IN ANSWER Reservation"
-        )
-        handles = service.submit_many(
-            [
-                SubmitRequest(sql=KRAMER_SQL, owner="Kramer"),
-                SubmitRequest(sql=unsafe, owner="Loner"),
-                SubmitRequest(sql=JERRY_SQL, owner="Jerry"),
-            ]
-        )
-        assert handles[0].is_answered and handles[2].is_answered
-        assert handles[1].status is QueryStatus.REJECTED
-        assert handles[1].error
-        assert handles[1].exception() is not None
-
-    def test_submit_many_default_owner_applies(self, service):
-        (handle,) = service.submit_many([KRAMER_SQL], owner="Kramer")
-        assert handle.owner == "Kramer"
-
-    def test_duplicate_batch_handle_is_terminal_and_self_contained(self, service):
-        """A batch-rejected duplicate shares its id with the original; its
-        handle must resolve against its own record, not the registered one."""
-        from repro.core.compiler import compile_entangled
-
-        query = compile_entangled(KRAMER_SQL, owner="Kramer")
-        original, duplicate = service.submit_many([query, query])
-        assert original.status is QueryStatus.PENDING
-        assert duplicate.status is QueryStatus.REJECTED
-        with pytest.raises(EntanglementError):
-            duplicate.result(timeout=1.0)
-        fired: list[str] = []
-        duplicate.add_done_callback(lambda handle: fired.append(handle.status.value))
-        assert fired == ["rejected"]
-        # the original registration is untouched by the duplicate's handle
-        assert original.status is QueryStatus.PENDING
-
-    def test_callback_sees_whole_group_in_final_state(self, service):
-        """Done callbacks fire only after every group member is answered."""
-        observed: dict[str, object] = {}
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
-
-        def observe(handle) -> None:
-            partner_id = next(
-                qid for qid in handle.group_query_ids if qid != handle.query_id
-            )
-            partner = service.request(partner_id)
-            observed["partner_status"] = partner.status
-            observed["partner_result"] = partner.result(timeout=0)
-
-        kramer.add_done_callback(observe)
-        service.submit(SubmitRequest(sql=JERRY_SQL, owner="Jerry"))
-        assert observed["partner_status"] is QueryStatus.ANSWERED
-        assert observed["partner_result"].owner == "Jerry"
-
-    def test_wait_many_returns_envelope_per_query(self, service):
-        handles = service.submit_many(
-            [
-                SubmitRequest(sql=KRAMER_SQL, owner="Kramer"),
-                SubmitRequest(sql=JERRY_SQL, owner="Jerry"),
-            ]
-        )
-        envelopes = service.wait_many([handle.query_id for handle in handles], timeout=1.0)
-        assert [envelope.owner for envelope in envelopes] == ["Kramer", "Jerry"]
+# -- transport-agnostic conformance, in-process flavour -------------------------------------
 
 
-class TestIntrospection:
-    def test_requests_pending_and_retry(self, service):
-        kramer = service.submit(SubmitRequest(sql=KRAMER_SQL, owner="Kramer"))
-        assert [query.query_id for query in service.pending_queries()] == [kramer.query_id]
-        assert service.requests() == [kramer]
-        assert service.retry_pending() == 0
-        stats = service.stats()
-        assert stats.pending == 1
-        assert stats["queries_registered"] == 1
+class TestSubmission(SubmissionConformance):
+    pass
 
-    def test_stats_includes_transaction_counters(self, service):
-        counters = service.stats().as_dict()
-        assert "transactions_committed" in counters
-        assert "transactions_rolled_back" in counters
+
+class TestBatchSubmission(BatchConformance):
+    pass
+
+
+class TestPlainQueries(PlainQueryConformance):
+    pass
+
+
+class TestIntrospection(IntrospectionConformance):
+    pass
+
+
+class TestConcurrency(ConcurrencyConformance):
+    pass

@@ -17,7 +17,7 @@ class TestHierarchy:
             errors.CompilationError, errors.SafetyError, errors.UniquenessError,
             errors.QueryNotPendingError, errors.CoordinationTimeoutError,
             errors.ExecutionError, errors.ApplicationError, errors.UnknownUserError,
-            errors.BookingError,
+            errors.BookingError, errors.ServiceUnavailableError, errors.ProtocolError,
         ]
         for error_type in specific:
             assert issubclass(error_type, errors.YoutopiaError)
@@ -65,3 +65,16 @@ class TestMessages:
     def test_query_not_pending_and_unknown_user(self):
         assert errors.QueryNotPendingError("q1").query_id == "q1"
         assert errors.UnknownUserError("Newman").username == "Newman"
+
+    def test_service_unavailable_records_reason(self):
+        error = errors.ServiceUnavailableError("server closed the connection")
+        assert error.reason == "server closed the connection"
+        assert "unavailable" in str(error)
+        assert "server closed the connection" in str(error)
+
+    def test_remote_errors_are_not_entanglement_errors(self):
+        """Transport failures must stay distinguishable from coordination
+        outcomes: a caller catching EntanglementError around result() must
+        not accidentally swallow a dead connection."""
+        assert not issubclass(errors.ServiceUnavailableError, errors.EntanglementError)
+        assert not issubclass(errors.ProtocolError, errors.EntanglementError)
