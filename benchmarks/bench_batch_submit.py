@@ -16,6 +16,9 @@ full pass per submission for the loop baseline.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from conftest import pair_workload
@@ -90,6 +93,34 @@ def test_batch_vs_loop_match_attempts(report):
         batch_result.statistics["match_attempts"]
         < loop_result.statistics["match_attempts"]
     )
+    # Set BENCH_BATCH_JSON=/path/out.json to dump the raw numbers (merged
+    # into the CI bench-trajectory artifact by benchmarks/collect_results.py)
+    json_path = os.environ.get("BENCH_BATCH_JSON")
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "experiment": "bench_batch_submit",
+                    "queries": 200,
+                    "loop": {
+                        "match_attempts": loop_result.statistics["match_attempts"],
+                        "failed_match_attempts": loop_result.statistics[
+                            "failed_match_attempts"
+                        ],
+                        "elapsed_seconds": loop_result.elapsed_seconds,
+                    },
+                    "batch": {
+                        "match_attempts": batch_result.statistics["match_attempts"],
+                        "failed_match_attempts": batch_result.statistics[
+                            "failed_match_attempts"
+                        ],
+                        "elapsed_seconds": batch_result.elapsed_seconds,
+                    },
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
     report(
         queries=200,
         loop_match_attempts=loop_result.statistics["match_attempts"],

@@ -1,0 +1,196 @@
+"""E15 — durability overhead and recovery speed of the write-ahead log.
+
+Two questions decide whether the durability subsystem is production-viable:
+
+1. **What does journaling cost on the submit path?**  The workload batches
+   unmatchable entangled queries through ``submit_many`` (the middle tier's
+   bulk path) against three configurations: WAL off, WAL on with the
+   ``"batch"`` group-commit policy (one fsync per batch), and WAL on with
+   ``"always"`` (one fsync per record, the paranoid bound).  The acceptance
+   gate: group-commit WAL throughput must stay within 2× of the WAL-off
+   path (``>= 0.5×``).
+
+2. **How fast does a crashed system come back?**  A 10k-query log (no
+   snapshot — the worst case) is replayed into a fresh system; the gate is
+   that every query recovers as pending, and the experiment reports the
+   replay rate.
+
+Set ``BENCH_DURABILITY_JSON=/path/out.json`` to dump the raw numbers (the CI
+durability job uploads this as an artifact, and
+``benchmarks/collect_results.py`` merges it into the ``bench-trajectory``
+artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Optional
+
+from repro.core.config import SystemConfig
+from repro.core.system import YoutopiaSystem
+
+BATCH_SIZE = 200
+THROUGHPUT_QUERIES = 3000
+RECOVERY_QUERIES = 10_000
+RELATION_FAN_OUT = 64  # distinct answer relations keep match attempts cheap
+
+
+def pending_sql(index: int) -> str:
+    """An entangled query whose partner never arrives (stays pending)."""
+    relation = f"R{index % RELATION_FAN_OUT}"
+    return (
+        f"SELECT 'u{index}', x INTO ANSWER {relation} "
+        f"WHERE x IN (SELECT x FROM Vals) "
+        f"AND ('ghost{index}', x) IN ANSWER {relation} CHOOSE 1"
+    )
+
+
+def build_system(data_dir: Optional[str], fsync_policy: str = "batch") -> YoutopiaSystem:
+    config = SystemConfig(
+        seed=0, data_dir=data_dir, fsync_policy=fsync_policy, snapshot_interval=0
+    )
+    system = YoutopiaSystem(config=config)
+    system.execute("CREATE TABLE Vals (x INT PRIMARY KEY)")
+    system.execute("INSERT INTO Vals VALUES (1), (2), (3)")
+    return system
+
+
+def measure_submit_throughput(
+    data_dir: Optional[str], fsync_policy: str, total: int
+) -> dict[str, float]:
+    system = build_system(data_dir, fsync_policy)
+    try:
+        started = time.perf_counter()
+        for start in range(0, total, BATCH_SIZE):
+            system.submit_many(
+                [pending_sql(index) for index in range(start, min(start + BATCH_SIZE, total))]
+            )
+        elapsed = time.perf_counter() - started
+        assert system.coordinator.pending_count() == total
+        durability = system.durability_stats()
+        return {
+            "queries": total,
+            "batch_size": BATCH_SIZE,
+            "elapsed_seconds": elapsed,
+            "throughput_qps": total / elapsed,
+            "wal_fsyncs": durability.get("wal_fsyncs", 0),
+            "wal_group_commits": durability.get("wal_group_commits", 0),
+            "wal_records": durability.get("wal_records_appended", 0),
+        }
+    finally:
+        # close() would checkpoint (and on the WAL-off path do nothing);
+        # shut the coordinator down without timing that in.
+        system.coordinator.shutdown()
+        if system.durability is not None:
+            system.durability.close()
+
+
+def maybe_dump_json(payload: dict) -> None:
+    path = os.environ.get("BENCH_DURABILITY_JSON")
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+_RESULTS: dict[str, dict] = {}
+
+
+def test_group_commit_wal_submit_throughput(report):
+    """The acceptance gate: batch-fsync WAL >= 0.5x the WAL-off path."""
+    wal_dir = tempfile.mkdtemp(prefix="bench-wal-")
+    always_dir = tempfile.mkdtemp(prefix="bench-wal-always-")
+    try:
+        wal_off = measure_submit_throughput(None, "batch", THROUGHPUT_QUERIES)
+        wal_batch = measure_submit_throughput(wal_dir, "batch", THROUGHPUT_QUERIES)
+        # the per-record-fsync bound runs a smaller slice: it measures the
+        # disk, not the system, and one fsync per record is slow by design
+        wal_always = measure_submit_throughput(always_dir, "always", THROUGHPUT_QUERIES // 10)
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+        shutil.rmtree(always_dir, ignore_errors=True)
+
+    ratio = wal_batch["throughput_qps"] / wal_off["throughput_qps"]
+    # group commit: one fsync per submit_many batch, not one per record
+    assert wal_batch["wal_group_commits"] == THROUGHPUT_QUERIES // BATCH_SIZE
+    assert wal_batch["wal_fsyncs"] <= 2 * (THROUGHPUT_QUERIES // BATCH_SIZE)
+    assert ratio >= 0.5, (
+        f"group-commit WAL throughput only {ratio:.2f}x of the WAL-off path"
+    )
+
+    _RESULTS["submit_throughput"] = {
+        "wal_off": wal_off,
+        "wal_batch": wal_batch,
+        "wal_always": wal_always,
+        "batch_vs_off_ratio": ratio,
+    }
+    report(
+        wal_off_qps=round(wal_off["throughput_qps"], 1),
+        wal_batch_qps=round(wal_batch["throughput_qps"], 1),
+        wal_always_qps=round(wal_always["throughput_qps"], 1),
+        batch_vs_off_ratio=round(ratio, 3),
+        batch_fsyncs=wal_batch["wal_fsyncs"],
+    )
+
+
+def test_recovery_time_for_10k_query_log(report):
+    """Replay a 10k-submission log into a fresh system; everything recovers."""
+    data_dir = tempfile.mkdtemp(prefix="bench-recovery-")
+    try:
+        config = SystemConfig(
+            seed=0, data_dir=data_dir, fsync_policy="batch", snapshot_interval=0
+        )
+        system = build_system(data_dir, "batch")
+        for start in range(0, RECOVERY_QUERIES, BATCH_SIZE):
+            system.submit_many(
+                [pending_sql(index) for index in range(start, start + BATCH_SIZE)]
+            )
+        assert system.coordinator.pending_count() == RECOVERY_QUERIES
+        # crash: no checkpoint — the log is the only state (the data-dir
+        # lock must be released for the "restarted" system to open it)
+        system.coordinator.journal = None
+        system.coordinator.shutdown()
+        system.durability.close()
+
+        restart_started = time.perf_counter()
+        recovered = YoutopiaSystem(config=config)
+        restart_elapsed = time.perf_counter() - restart_started
+        try:
+            assert recovered.recovery is not None
+            replay_elapsed = recovered.recovery.elapsed_seconds
+            assert recovered.coordinator.pending_count() == RECOVERY_QUERIES
+            assert not recovered.recovery.replay_errors
+        finally:
+            recovered.close()
+
+        # after the (post-recovery or clean-shutdown) checkpoint a second
+        # restart reads the snapshot instead of replaying the log
+        second_started = time.perf_counter()
+        second = YoutopiaSystem(config=config)
+        second_elapsed = time.perf_counter() - second_started
+        try:
+            assert second.coordinator.pending_count() == RECOVERY_QUERIES
+            assert second.recovery.records_replayed == 0
+        finally:
+            second.close()
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+    _RESULTS["recovery"] = {
+        "queries": RECOVERY_QUERIES,
+        "log_replay_seconds": replay_elapsed,
+        "log_replay_qps": RECOVERY_QUERIES / replay_elapsed,
+        "restart_wall_seconds": restart_elapsed,
+        "snapshot_restart_wall_seconds": second_elapsed,
+    }
+    payload = {"experiment": "bench_durability", **_RESULTS}
+    maybe_dump_json(payload)
+    report(
+        log_replay_s=round(replay_elapsed, 2),
+        log_replay_qps=round(RECOVERY_QUERIES / replay_elapsed, 0),
+        restart_wall_s=round(restart_elapsed, 2),
+        snapshot_restart_s=round(second_elapsed, 2),
+    )

@@ -1,0 +1,84 @@
+"""Merge the per-job benchmark JSON dumps into one trajectory artifact.
+
+Each benchmark job in CI writes its raw numbers to a standalone JSON file
+(``bench_batch_submit.json``, ``bench_sharded_matching.json``,
+``bench_remote_transport.json``, ``bench_durability.json``).  This script
+folds them into a single ``bench-trajectory.json`` so one artifact tracks the
+performance trajectory of the whole system per commit::
+
+    python benchmarks/collect_results.py --out bench-trajectory.json \
+        artifacts/**/*.json
+
+Files that are missing or unreadable are reported and skipped — a benchmark
+job that failed must not take the trajectory artifact down with it.  Exits
+non-zero only when *no* input could be collected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable
+
+
+def experiment_name(payload: dict, path: Path) -> str:
+    """The payload's experiment id, falling back to the file stem."""
+    name = payload.get("experiment")
+    if isinstance(name, str) and name:
+        return name
+    return path.stem
+
+
+def collect(paths: Iterable[Path]) -> tuple[dict[str, dict], list[str]]:
+    merged: dict[str, dict] = {}
+    problems: list[str] = []
+    for path in paths:
+        if not path.exists():
+            problems.append(f"missing: {path}")
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"unreadable {path}: {exc}")
+            continue
+        if not isinstance(payload, dict):
+            problems.append(f"not a JSON object: {path}")
+            continue
+        merged[experiment_name(payload, path)] = payload
+    return merged, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="merge per-benchmark JSON dumps into one trajectory file"
+    )
+    parser.add_argument("inputs", nargs="+", help="benchmark JSON files to merge")
+    parser.add_argument(
+        "--out", default="bench-trajectory.json", help="merged output path"
+    )
+    args = parser.parse_args(argv)
+
+    merged, problems = collect(Path(p) for p in args.inputs)
+    for problem in problems:
+        print(f"collect_results: {problem}", file=sys.stderr)
+    if not merged:
+        print("collect_results: no benchmark results collected", file=sys.stderr)
+        return 1
+
+    trajectory = {
+        "benchmarks": merged,
+        "collected": sorted(merged),
+        "skipped": problems,
+    }
+    out = Path(args.out)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+    print(f"collect_results: wrote {out} ({len(merged)} experiment(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

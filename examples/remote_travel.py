@@ -15,12 +15,16 @@ Run with:  python examples/remote_travel.py
 
 from __future__ import annotations
 
+import os
+import select
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.errors import ServiceUnavailableError  # noqa: E402
 from repro.service import InProcessService, SubmitRequest, SystemConfig  # noqa: E402
 from repro.service.remote import CoordinationServer, RemoteService  # noqa: E402
 
@@ -54,6 +58,55 @@ def serve() -> int:
     return 0
 
 
+def read_port(process: subprocess.Popen, timeout: float = 30.0) -> int:
+    """Read the ephemeral port the server chose (``PORT <n>`` on stdout).
+
+    The server binds port 0 and reports the kernel-assigned port back, so the
+    two processes can never collide on a hard-coded port.  Non-matching lines
+    are skipped; a server that exits or stays silent past ``timeout`` raises
+    with its diagnostics instead of blocking forever.  The pipe is read with
+    ``select`` + ``os.read`` (POSIX) and line-split locally — mixing
+    ``select`` with a *buffered* ``readline`` would hide lines already
+    sitting in the stdio buffer and stall on a pipe with no fresh bytes.
+    """
+    deadline = time.monotonic() + timeout
+    assert process.stdout is not None
+    fd = process.stdout.fileno()
+    buffer = ""
+    while True:
+        while "\n" in buffer:
+            line, buffer = buffer.split("\n", 1)
+            parts = line.split()
+            if len(parts) == 2 and parts[0] == "PORT" and parts[1].isdigit():
+                return int(parts[1])
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RuntimeError(f"server did not report a port within {timeout}s")
+        ready, _, _ = select.select([fd], [], [], remaining)
+        if not ready:
+            raise RuntimeError(f"server did not report a port within {timeout}s")
+        chunk = os.read(fd, 4096)
+        if not chunk:
+            raise RuntimeError(
+                f"server exited (code {process.poll()}) before reporting its port"
+            )
+        buffer += chunk.decode("utf-8", errors="replace")
+
+
+def connect_with_retry(
+    host: str, port: int, attempts: int = 10, delay: float = 0.2
+) -> RemoteService:
+    """Connect, retrying while the server's accept loop finishes starting."""
+    last_error: Exception = ServiceUnavailableError("no connection attempted")
+    for attempt in range(attempts):
+        try:
+            return RemoteService.connect(host, port)
+        except ServiceUnavailableError as exc:
+            last_error = exc
+            time.sleep(delay * (attempt + 1))
+    raise last_error
+
+
 def main() -> int:
     server_process = subprocess.Popen(
         [sys.executable, __file__, "--serve"],
@@ -61,15 +114,14 @@ def main() -> int:
         text=True,
     )
     try:
-        port_line = server_process.stdout.readline().strip()
-        port = int(port_line.split()[1])
+        port = read_port(server_process)
         print("== Two-process travel booking ==")
         print(f"server process (pid {server_process.pid}) listening on 127.0.0.1:{port}")
 
         # Jerry and Kramer each hold their own connection, as two browser
         # sessions against the travel site's middle tier would.
-        jerry_session = RemoteService.connect("127.0.0.1", port)
-        kramer_session = RemoteService.connect("127.0.0.1", port)
+        jerry_session = connect_with_retry("127.0.0.1", port)
+        kramer_session = connect_with_retry("127.0.0.1", port)
 
         jerry = jerry_session.submit(
             SubmitRequest(sql=booking_sql("Jerry", "Kramer", "Paris", 700), owner="Jerry")

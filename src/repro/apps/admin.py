@@ -146,6 +146,36 @@ class AdminInterface:
             )
         return "\n".join(lines) or "(no shards)"
 
+    def durability_stats(self) -> dict:
+        """The durability subsystem's counters (``{"enabled": False}`` when off)."""
+        return dict(self.service.stats().durability)
+
+    def durability_text(self) -> str:
+        stats = self.durability_stats()
+        if not stats.get("enabled"):
+            return "(durability off: memory-only system)"
+        lines = [
+            f"data_dir = {stats.get('data_dir')}",
+            f"fsync_policy = {stats.get('fsync_policy')} "
+            f"(fsyncs={stats.get('wal_fsyncs')}, group_commits={stats.get('wal_group_commits')})",
+            f"wal: last_lsn={stats.get('wal_last_lsn')} "
+            f"appended={stats.get('wal_records_appended')} "
+            f"since_checkpoint={stats.get('records_since_checkpoint')}",
+            f"snapshots_taken = {stats.get('snapshots_taken')} "
+            f"(interval={stats.get('snapshot_interval')})",
+        ]
+        recovery = stats.get("recovery")
+        if recovery:
+            lines.append(
+                "last recovery: "
+                f"pending={recovery.get('pending_recovered')} "
+                f"answered={recovery.get('answered_recovered')} "
+                f"replayed={recovery.get('records_replayed')} "
+                f"repaired_bytes={recovery.get('repaired_bytes')} "
+                f"in {recovery.get('elapsed_seconds', 0.0):.3f}s"
+            )
+        return "\n".join(lines)
+
     def event_log(self, limit: Optional[int] = None) -> list[Event]:
         events = self.system.events.history()
         if limit is not None:
@@ -185,6 +215,8 @@ class AdminInterface:
         sections.append(self.match_graph_text())
         sections.append("\n-- matching shards --")
         sections.append(self.shard_text())
+        sections.append("\n-- durability --")
+        sections.append(self.durability_text())
         sections.append("\n-- coordination statistics --")
         for key, value in sorted(self.statistics().items()):
             sections.append(f"{key} = {value}")

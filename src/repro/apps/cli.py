@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from repro.core.config import SystemConfig
@@ -246,6 +247,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--script", default=None, help="SQL script to run before serving (schema + data)"
     )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="durability directory (WAL + snapshots); restarting over the same "
+        "directory recovers pending queries, answers and base data",
+    )
+    serve.add_argument(
+        "--fsync-policy",
+        choices=["always", "batch", "never"],
+        default="batch",
+        help="when WAL appends are forced to disk (needs --data-dir)",
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=1000,
+        help="WAL records between automatic snapshots; 0 disables (needs --data-dir)",
+    )
 
     connect = commands.add_parser("connect", help="open a shell against a remote server")
     connect.add_argument("--host", default="127.0.0.1", help="server host")
@@ -258,15 +277,84 @@ def build_server(
     port: int = 7399,
     seed: Optional[int] = None,
     script: Optional[str] = None,
+    data_dir: Optional[str] = None,
+    fsync_policy: str = "batch",
+    snapshot_interval: int = 1000,
 ) -> CoordinationServer:
-    """Assemble (and start) the server the ``serve`` sub-command runs."""
-    service = InProcessService(config=SystemConfig(seed=seed))
+    """Assemble (and start) the server the ``serve`` sub-command runs.
+
+    With ``data_dir`` the system journals every state transition to a
+    write-ahead log and recovers it on restart.  The ``--script`` bootstrap
+    runs exactly once per data directory, tracked by two durable markers:
+    ``bootstrap.started`` is written (and fsynced) before the script runs,
+    ``bootstrap.done`` after it completed.  A restart sees one of:
+
+    * ``done`` present — bootstrapped; the script is skipped (re-running
+      would duplicate the replayed data);
+    * ``started`` present without ``done`` — the predecessor provably died
+      *mid-bootstrap*; the partial state is wiped and the script redone,
+      which is safe because the script runs before the socket opens, so no
+      client state can have been acknowledged yet;
+    * neither marker but recovered state — the directory predates this
+      ``--script``; it is left untouched and the script is skipped with a
+      notice (wiping real acknowledged state to apply a bootstrap would be
+      data loss).
+    """
+    config = SystemConfig(
+        seed=seed,
+        data_dir=data_dir,
+        fsync_policy=fsync_policy,
+        snapshot_interval=snapshot_interval,
+    )
+    service = InProcessService(config=config)
     if script:
-        with open(script, "r", encoding="utf-8") as handle:
-            service.execute_script(handle.read())
+        service = _bootstrap(service, config, script, data_dir)
     server = CoordinationServer(service=service, host=host, port=port, close_service=True)
     server.start()
     return server
+
+
+def _bootstrap(
+    service: InProcessService,
+    config: SystemConfig,
+    script: str,
+    data_dir: Optional[str],
+) -> InProcessService:
+    """Run the ``--script`` bootstrap per the marker protocol (see above)."""
+
+    def run_script(target: InProcessService) -> None:
+        with open(script, "r", encoding="utf-8") as handle:
+            target.execute_script(handle.read())
+
+    if data_dir is None:  # memory-only serve: nothing to track
+        run_script(service)
+        return service
+
+    from repro.core.durability import SNAPSHOT_FILE, WAL_FILE, write_durable_marker
+
+    done = Path(data_dir) / "bootstrap.done"
+    started = Path(data_dir) / "bootstrap.started"
+    if done.exists():
+        return service
+    if service.system.recovered and not started.exists():
+        print(
+            f"note: {data_dir} holds prior durable state that predates "
+            f"--script; the bootstrap script was NOT run",
+            flush=True,
+        )
+        return service
+    if started.exists():
+        # provably crashed mid-bootstrap: wipe the partial state and redo
+        service.close()
+        for name in (SNAPSHOT_FILE, WAL_FILE):
+            (Path(data_dir) / name).unlink(missing_ok=True)
+        service = InProcessService(config=config)
+    write_durable_marker(started)
+    run_script(service)
+    service.system.checkpoint()
+    write_durable_marker(done)
+    started.unlink(missing_ok=True)
+    return service
 
 
 def _repl(shell: CommandLine, banner: str) -> int:  # pragma: no cover - interactive loop
@@ -286,9 +374,27 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
     """Entry point (``youtopia-cli [serve|connect]``)."""
     args = build_parser().parse_args(argv)
     if args.command == "serve":
-        server = build_server(args.host, args.port, seed=args.seed, script=args.script)
+        server = build_server(
+            args.host,
+            args.port,
+            seed=args.seed,
+            script=args.script,
+            data_dir=args.data_dir,
+            fsync_policy=args.fsync_policy,
+            snapshot_interval=args.snapshot_interval,
+        )
+        system = server.service.system
+        if system.recovered and system.recovery is not None:
+            summary = system.recovery
+            print(
+                f"recovered durable state from {args.data_dir}: "
+                f"{summary.pending_recovered} pending, "
+                f"{summary.answered_recovered} answered, "
+                f"{summary.records_replayed} log records replayed",
+                flush=True,
+            )
         host, port = server.address
-        print(f"youtopia coordination server listening on {host}:{port}")
+        print(f"youtopia coordination server listening on {host}:{port}", flush=True)
         try:
             server.wait_stopped()
         except KeyboardInterrupt:

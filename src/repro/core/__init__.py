@@ -17,6 +17,12 @@ from repro.core.baseline import ExhaustiveEvaluator
 from repro.core.compiler import EntangledQueryBuilder, compile_entangled, entangled_to_sql, var
 from repro.core.config import SystemConfig
 from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
+from repro.core.durability import (
+    DurabilityManager,
+    RecoveryReport,
+    WriteAheadLog,
+    read_wal,
+)
 from repro.core.events import Event, EventBus, EventType
 from repro.core.executor import ExecutionOutcome, JointExecutor
 from repro.core.matching import MatchedGroup, Matcher, ProviderIndex, Unifier
@@ -41,6 +47,7 @@ __all__ = [
     "CoordinationRequest",
     "CoordinationStatistics",
     "Coordinator",
+    "DurabilityManager",
     "EntangledQueryBuilder",
     "Event",
     "EventBus",
@@ -54,10 +61,12 @@ __all__ = [
     "ProviderIndex",
     "QueryShard",
     "QueryStatus",
+    "RecoveryReport",
     "ShardedCoordinator",
     "SystemConfig",
     "TransactionManager",
     "Unifier",
+    "WriteAheadLog",
     "YoutopiaSession",
     "YoutopiaSystem",
     "analyze",
@@ -65,6 +74,7 @@ __all__ = [
     "compile_entangled",
     "entangled_to_sql",
     "ir",
+    "read_wal",
     "relation_signature",
     "route_signature",
     "shard_for_relation",

@@ -277,17 +277,24 @@ def var(name: str) -> ir.Variable:
 
 
 def entangled_to_sql(query: ir.EntangledQuery) -> str:
-    """Render an IR query back to entangled SQL (best effort, for display)."""
+    """Render an IR query back to entangled SQL.
+
+    Used for display *and* for the durability journal (a builder-made query
+    records no SQL of its own), so constants are rendered with the SQL
+    pretty-printer's literal rules (``''`` escaping, ``TRUE``/``NULL``) —
+    the output must survive a trip through :func:`compile_entangled` on
+    recovery, not just look readable.
+    """
     if query.sql:
         return query.sql
-    from repro.sqlparser.pretty import format_expression
+    from repro.sqlparser.pretty import format_expression, format_literal
+
+    def term_sql(term: ir.Term) -> str:
+        return format_literal(term.value) if isinstance(term, ir.Constant) else term.name
 
     head_parts = []
     for atom in query.heads:
-        items = ", ".join(
-            repr(term.value) if isinstance(term, ir.Constant) else term.name
-            for term in atom.terms
-        )
+        items = ", ".join(term_sql(term) for term in atom.terms)
         head_parts.append(f"{items} INTO ANSWER {atom.relation}")
     clauses: list[str] = []
     for domain in query.domains:
@@ -295,10 +302,7 @@ def entangled_to_sql(query: ir.EntangledQuery) -> str:
     for predicate in query.predicates:
         clauses.append(format_expression(predicate.expression))
     for atom in query.answer_atoms:
-        items = ", ".join(
-            repr(term.value) if isinstance(term, ir.Constant) else term.name
-            for term in atom.terms
-        )
+        items = ", ".join(term_sql(term) for term in atom.terms)
         clauses.append(f"({items}) IN ANSWER {atom.relation}")
     where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
     return f"SELECT {', '.join(head_parts)}{where} CHOOSE {query.choose}"

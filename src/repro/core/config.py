@@ -60,6 +60,23 @@ class SystemConfig:
         traffic would starve.  Idle workers therefore sweep any shard that
         has stayed dirty (with pending residents) for at least this long.
         ``0`` disables the backstop.  Ignored when ``match_workers == 0``.
+    data_dir:
+        Directory for the durability subsystem
+        (:mod:`~repro.core.durability`): a write-ahead log journaling every
+        coordination state transition plus periodic snapshots.  A system
+        rebuilt over the same directory after a crash recovers its pending
+        pool, request history and base data.  ``None`` (the default) keeps
+        the system memory-only.
+    fsync_policy:
+        When WAL appends are forced to disk: ``"always"`` (every record),
+        ``"batch"`` (the default: once per append, or once per
+        ``submit_many`` group-commit batch) or ``"never"`` (OS-buffered).
+        Ignored without ``data_dir``.
+    snapshot_interval:
+        Number of WAL records between automatic snapshots (after which the
+        log is truncated).  ``0`` disables automatic snapshots — the log
+        then only shrinks on explicit ``checkpoint()`` calls.  Ignored
+        without ``data_dir``.
     """
 
     seed: Optional[int] = None
@@ -72,6 +89,9 @@ class SystemConfig:
     match_workers: int = 0
     shard_count: Optional[int] = None
     idle_sweep_interval: float = 0.25
+    data_dir: Optional[Union[str, Path]] = None
+    fsync_policy: str = "batch"
+    snapshot_interval: int = 1000
 
     @property
     def resolved_shard_count(self) -> int:
@@ -97,4 +117,7 @@ class SystemConfig:
             "match_workers": self.match_workers,
             "shard_count": self.resolved_shard_count,
             "idle_sweep_interval": self.idle_sweep_interval,
+            "data_dir": None if self.data_dir is None else str(self.data_dir),
+            "fsync_policy": self.fsync_policy,
+            "snapshot_interval": self.snapshot_interval,
         }

@@ -21,12 +21,14 @@ paper describes.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import random
 import threading
 import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core import ir
 from repro.core.answer import AnswerRelationRegistry
@@ -44,10 +46,14 @@ from repro.errors import (
     ExecutionError,
     QueryAlreadyAnsweredError,
     QueryNotPendingError,
+    YoutopiaError,
 )
 from repro.relalg.engine import QueryEngine
 from repro.sqlparser import ast
 from repro.storage.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.durability import DurabilityManager
 
 PENDING_TABLE = "_pending_queries"
 
@@ -127,6 +133,11 @@ class Coordinator:
         else:
             self._matcher = Matcher(engine, rng=self.rng, max_group_size=config.max_group_size)
         self._index = ProviderIndex(use_constant_index=config.use_constant_index)
+
+        #: Durability journal (attached by the system after recovery); every
+        #: accepted submission, answered group and cancellation is logged
+        #: through it while the relevant locks are still held.
+        self.journal: Optional["DurabilityManager"] = None
 
         self._pool: dict[str, ir.EntangledQuery] = {}
         self._requests: dict[str, CoordinationRequest] = {}
@@ -232,6 +243,7 @@ class Coordinator:
                 self._retry_pending_locked(exclude=query.query_id)
 
             self._attempt_match_locked(query)
+        self._maybe_checkpoint()
         return request
 
     def submit_many(
@@ -259,32 +271,16 @@ class Coordinator:
 
         batch: list[CoordinationRequest] = []
         with self._lock:
-            for query in compiled:
-                request = CoordinationRequest(query=query)
-                batch.append(request)
-                rejection = self._run_static_checks(request)
-                if rejection is not None:
-                    self._requests.setdefault(query.query_id, request)
-                    self.statistics.queries_rejected += 1
-                    self.events.publish(
-                        EventType.QUERY_REJECTED,
-                        query_id=query.query_id,
-                        owner=query.owner,
-                        reason=str(rejection),
-                    )
-                    continue
-                if query.query_id in self._pool or query.query_id in self._requests:
-                    request.status = QueryStatus.REJECTED
-                    request.error = f"a query with id {query.query_id!r} is already registered"
-                    self.statistics.queries_rejected += 1
-                    self.events.publish(
-                        EventType.QUERY_REJECTED,
-                        query_id=query.query_id,
-                        owner=query.owner,
-                        reason=request.error,
-                    )
-                    continue
-                self._register_locked(request)
+            # One group-commit scope around *registration only*: the batch's
+            # submit records share a single fsync, but the scope must close
+            # before the deferred match pass — a commit record appended
+            # inside the scope would defer its fsync past the point where
+            # answers become observable (wait(), done callbacks, pushes).
+            journal_scope = (
+                self.journal.group_commit() if self.journal is not None else nullcontext()
+            )
+            with journal_scope:
+                self._register_compiled_batch_locked(compiled, batch)
 
             if self._data_dirty:
                 self._data_dirty = False
@@ -296,7 +292,41 @@ class Coordinator:
             for request in batch:
                 if request.status is QueryStatus.PENDING and request.query_id in self._pool:
                     self._attempt_match_locked(request.query)
+        self._maybe_checkpoint()
         return batch
+
+    def _register_compiled_batch_locked(
+        self,
+        compiled: Sequence[ir.EntangledQuery],
+        batch: list[CoordinationRequest],
+    ) -> None:
+        """Per-item checked registration for :meth:`submit_many` (lock held)."""
+        for query in compiled:
+            request = CoordinationRequest(query=query)
+            batch.append(request)
+            rejection = self._run_static_checks(request)
+            if rejection is not None:
+                self._requests.setdefault(query.query_id, request)
+                self.statistics.queries_rejected += 1
+                self.events.publish(
+                    EventType.QUERY_REJECTED,
+                    query_id=query.query_id,
+                    owner=query.owner,
+                    reason=str(rejection),
+                )
+                continue
+            if query.query_id in self._pool or query.query_id in self._requests:
+                request.status = QueryStatus.REJECTED
+                request.error = f"a query with id {query.query_id!r} is already registered"
+                self.statistics.queries_rejected += 1
+                self.events.publish(
+                    EventType.QUERY_REJECTED,
+                    query_id=query.query_id,
+                    owner=query.owner,
+                    reason=request.error,
+                )
+                continue
+            self._register_locked(request)
 
     @staticmethod
     def _coerce_query(
@@ -332,6 +362,14 @@ class Coordinator:
     def _register_locked(self, request: CoordinationRequest) -> None:
         """Add a checked request to the pool and index (lock held, no matching)."""
         query = request.query
+        # Journal first, while the registration locks are held: the log order
+        # equals the registration order, the submission is durable before the
+        # caller's submit() returns (acknowledge-after-append), and an append
+        # failure propagates *before* any in-memory mutation — a registered
+        # but unjournaled query would silently vanish on crash while staying
+        # matchable in this process.
+        if self.journal is not None:
+            self.journal.log_submit(request)
         for atom in list(query.heads) + list(query.answer_atoms):
             self.registry.ensure(atom.relation, atom.arity)
         self._add_pending(query)
@@ -399,8 +437,23 @@ class Coordinator:
     def _finalize_outcome_locked(self, outcome: ExecutionOutcome) -> ExecutionOutcome:
         """Mark every group member answered and notify observers (lock held)."""
         group = outcome.group
-        self.statistics.groups_matched += 1
         group_ids = tuple(group.query_ids)
+        answered_at = time.time()
+        # Write-ahead: the commit record is appended before any request flips
+        # to ANSWERED, while this thread still holds the locks of every
+        # involved shard.  A crash before the append leaves the whole group
+        # pending in the log and recovery re-matches it; a crash after
+        # replays the identical answers.  A *non-fatal* append failure (disk
+        # full on a live system) must NOT abort the finalize: the joint
+        # execution already committed its tuples, and leaving the group
+        # pending would re-match it later and insert them twice.  The
+        # durability degradation is recorded on the journal instead.
+        if self.journal is not None:
+            try:
+                self.journal.log_commit(group_ids, outcome.answers, answered_at)
+            except Exception as exc:  # noqa: BLE001 - divergence is worse than a gap
+                self.journal.note_append_failure(exc)
+        self.statistics.groups_matched += 1
         self.events.publish(
             EventType.GROUP_MATCHED,
             query_ids=list(group_ids),
@@ -414,7 +467,7 @@ class Coordinator:
             # so a record seen as ANSWERED always carries its answer.
             request.answer = answer
             request.group_query_ids = group_ids
-            request.answered_at = time.time()
+            request.answered_at = answered_at
             request.status = QueryStatus.ANSWERED
             self.statistics.queries_answered += 1
             self._remove_pending(answer.query_id)
@@ -448,7 +501,9 @@ class Coordinator:
         entangled query arriving.  Returns the number of queries answered.
         """
         with self._lock:
-            return self._retry_pending_locked()
+            answered = self._retry_pending_locked()
+        self._maybe_checkpoint()
+        return answered
 
     def _retry_pending_locked(self, exclude: Optional[str] = None) -> int:
         answered_before = self.statistics.queries_answered
@@ -552,11 +607,22 @@ class Coordinator:
                 raise QueryAlreadyAnsweredError(query_id)
             if query_id not in self._pool:
                 raise QueryNotPendingError(query_id)
+            # journal before the pool mutation: an append failure must leave
+            # the query cleanly pending (still cancellable), not popped from
+            # the pool with a PENDING status nobody can resolve
+            if self.journal is not None:
+                self.journal.log_cancel(query_id)
             self._remove_pending(query_id)
             self._cancel_registered_locked(request)
+        self._maybe_checkpoint()
 
     def _cancel_registered_locked(self, request: CoordinationRequest) -> None:
-        """Shared cancellation bookkeeping once the query left its pool."""
+        """Shared cancellation bookkeeping once the query left its pool.
+
+        The caller journals the cancel record *before* removing the query
+        from its pool (see :meth:`cancel`), so an append failure cannot
+        strand a popped-but-still-PENDING zombie.
+        """
         request.status = QueryStatus.CANCELLED
         self.statistics.queries_cancelled += 1
         self._update_pending_row(request)
@@ -565,6 +631,246 @@ class Coordinator:
         )
         self._fire_done_callbacks_locked(request)
         self._answered.notify_all()
+
+    # -- durability: checkpointing ----------------------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        """Cut a snapshot when enough WAL records accumulated (safe point).
+
+        Called only from points where this thread holds no coordinator locks;
+        the checkpoint itself re-acquires everything it needs.  Failures are
+        recorded on the journal instead of raised: the triggering operation
+        (submit/cancel/...) already succeeded durably, and surfacing a
+        snapshot-write error as *its* failure would make remote clients
+        retry an accepted submission.
+        """
+        journal = self.journal
+        if journal is not None and journal.snapshot_due():
+            try:
+                self.checkpoint(only_if_due=True)
+            except Exception as exc:  # noqa: BLE001 - background maintenance
+                journal.note_checkpoint_failure(exc)
+
+    def checkpoint(self, only_if_due: bool = False) -> bool:
+        """Snapshot the full recoverable state and truncate the WAL.
+
+        Returns ``False`` when no journal is attached.  The capture and the
+        log truncation happen under every lock a state transition would need
+        (checkpoint lock first, then the coordination locks), so the snapshot
+        is a consistent cut: no record can land between the captured state
+        and the truncation.  ``only_if_due`` re-checks the snapshot trigger
+        *inside* the locks — concurrent ``_maybe_checkpoint`` callers that
+        all saw the interval crossed would otherwise each cut a redundant
+        full snapshot back to back.
+        """
+        journal = self.journal
+        if journal is None or journal.closed:
+            return False
+        with journal.checkpoint_scope():
+            with self._checkpoint_locks():
+                if only_if_due and not journal.snapshot_due():
+                    return False
+                state = self._capture_state_locked()
+                last_lsn = journal.install_checkpoint(state)
+                pending = len(self._pool)
+        self.events.publish(EventType.SNAPSHOT_TAKEN, last_lsn=last_lsn, pending=pending)
+        return True
+
+    @contextmanager
+    def _checkpoint_locks(self) -> Iterator[None]:
+        """Every lock a consistent capture needs (overridden when sharded)."""
+        with self._lock:
+            yield
+
+    def _capture_state_locked(self) -> dict[str, Any]:
+        """The snapshot payload: tables, declarations, requests, counters."""
+        from repro.core.durability import SNAPSHOT_VERSION, encode_request
+
+        tables: list[dict[str, Any]] = []
+        for table in self.database.tables():
+            if table.name.lower() == PENDING_TABLE:
+                continue  # rebuilt from the recovered requests on load
+            schema = table.schema
+            tables.append(
+                {
+                    "name": schema.name,
+                    "columns": [
+                        {"name": c.name, "type": c.type.value, "nullable": c.nullable}
+                        for c in schema.columns
+                    ],
+                    "primary_key": list(schema.primary_key),
+                    "rows": [list(row) for row in table.rows()],
+                    "indexes": [
+                        {
+                            "name": index.name,
+                            "columns": [
+                                schema.columns[position].name
+                                for position in index.column_positions
+                            ],
+                            "unique": index.unique,
+                        }
+                        for index in table.indexes().values()
+                        if index.name != "__pk__"
+                    ],
+                }
+            )
+        return {
+            "version": SNAPSHOT_VERSION,
+            "tables": tables,
+            "answer_relations": self.registry.names(),
+            "requests": [encode_request(request) for request in self._requests.values()],
+            "counters": self.statistics.as_dict(),
+        }
+
+    # -- durability: recovery application ---------------------------------------------------------------
+
+    @contextmanager
+    def _registration_scope(self, query: ir.EntangledQuery) -> Iterator[None]:
+        """The locks guarding one query's pending bookkeeping (overridable)."""
+        del query
+        with self._lock:
+            yield
+
+    def recover_request(self, state: dict[str, Any]) -> bool:
+        """Rebuild one request from its journaled/snapshotted state.
+
+        Pending requests re-enter the pool and provider index (the indexes
+        are derived state and are rebuilt rather than deserialized); terminal
+        ones only restore their record and bookkeeping row.  Idempotent by
+        query id; returns whether anything was applied.  Never journals —
+        recovery runs before the journal is attached.
+        """
+        query_id = str(state["query_id"])
+        with self._lock:
+            if query_id in self._requests:
+                return False
+        owner = state.get("owner")
+        sql = state.get("sql")
+        query: Optional[ir.EntangledQuery] = None
+        if sql:
+            try:
+                query = dataclasses.replace(
+                    compile_entangled(str(sql), owner=owner), query_id=query_id
+                )
+            except YoutopiaError:
+                query = None
+        if query is None:
+            # No (usable) SQL was recorded; keep the identity so terminal
+            # history survives, but the query cannot re-enter the pool.
+            query = ir.EntangledQuery(query_id=query_id, heads=(), owner=owner)
+        request = CoordinationRequest(query=query)
+        if state.get("registered_at"):
+            request.registered_at = float(state["registered_at"])
+        status = QueryStatus(str(state.get("status", "pending")))
+
+        if status is QueryStatus.PENDING and query.heads:
+            rejection = self._run_static_checks(request)
+            if rejection is None:
+                with self._registration_scope(query):
+                    for atom in list(query.heads) + list(query.answer_atoms):
+                        self.registry.ensure(atom.relation, atom.arity)
+                    self._add_pending(query)
+                    self._requests[query_id] = request
+                    self.statistics.queries_registered += 1
+                    self._record_pending_row(request)
+                return True
+            status = QueryStatus.REJECTED
+        elif status is QueryStatus.PENDING:
+            # The journaled SQL could not be recompiled: a pending request
+            # that cannot re-enter the pool must not recover as a phantom
+            # (wait() would hang forever and cancel() would raise); surface
+            # it as rejected with a diagnosable error instead.
+            status = QueryStatus.REJECTED
+            request.error = (
+                f"recovery could not recompile query {query_id!r} from its "
+                f"journaled SQL; the request cannot re-enter the pending pool"
+            )
+
+        request.status = status
+        request.error = state.get("error") or request.error
+        request.group_query_ids = tuple(state.get("group") or ())
+        if state.get("answered_at"):
+            request.answered_at = float(state["answered_at"])
+        answer = state.get("answer")
+        if answer is not None:
+            from repro.service.remote import codec
+
+            request.answer = codec.decode_answer(query_id, answer)
+        with self._lock:
+            self._requests[query_id] = request
+        if status is not QueryStatus.REJECTED:
+            self._record_pending_row(request)
+        return True
+
+    def apply_recovered_commit(
+        self,
+        group_ids: tuple[str, ...],
+        answers: Sequence[ir.GroundAnswer],
+        answered_at: float,
+    ) -> int:
+        """Replay one commit record: re-insert answer tuples, flip statuses.
+
+        Skips members that are already answered (replay idempotence) or
+        unknown (a snapshot always contains every request, so this only
+        happens for damaged logs).  Returns the number of requests applied.
+        """
+        applied = 0
+        with self._recovery_commit_locks():
+            for answer in answers:
+                request = self._requests.get(answer.query_id)
+                if request is None or request.status is QueryStatus.ANSWERED:
+                    continue
+                for relation, relation_tuples in answer.tuples.items():
+                    for values in relation_tuples:
+                        self.registry.ensure(relation, len(values))
+                        self.registry.insert(relation, values)
+                request.answer = answer
+                request.group_query_ids = tuple(group_ids)
+                request.answered_at = answered_at or time.time()
+                request.status = QueryStatus.ANSWERED
+                self.statistics.queries_answered += 1
+                self._discard_pending(answer.query_id)
+                self._update_pending_row(request)
+                applied += 1
+            if applied:
+                self.statistics.groups_matched += 1
+                self._answered.notify_all()
+        return applied
+
+    def apply_recovered_cancel(self, query_id: str) -> bool:
+        """Replay one cancel record (idempotent)."""
+        with self._recovery_commit_locks():
+            request = self._requests.get(query_id)
+            if request is None or request.status is not QueryStatus.PENDING:
+                return False
+            request.status = QueryStatus.CANCELLED
+            self.statistics.queries_cancelled += 1
+            self._discard_pending(query_id)
+            self._update_pending_row(request)
+            self._answered.notify_all()
+        return True
+
+    @contextmanager
+    def _recovery_commit_locks(self) -> Iterator[None]:
+        """Locks for replaying commits/cancels (overridden when sharded)."""
+        with self._lock:
+            yield
+
+    def _discard_pending(self, query_id: str) -> None:
+        """Drop a query from pending bookkeeping if (still) resident."""
+        if query_id in self._pool:
+            self._remove_pending(query_id)
+
+    def mark_all_dirty(self) -> None:
+        """Arm a retry sweep for the whole pool (end of recovery).
+
+        A crash between a match's execution and its commit record leaves the
+        group pending again; marking everything dirty makes the next arrival
+        (or an explicit retry) re-attempt it.
+        """
+        with self._lock:
+            if self._pool:
+                self._data_dirty = True
 
     # -- inspection ------------------------------------------------------------------------------------------
 

@@ -35,6 +35,8 @@ class EventType(enum.Enum):
     QUERY_CANCELLED = "query_cancelled"
     QUERY_TIMED_OUT = "query_timed_out"
     EXECUTION_FAILED = "execution_failed"
+    SNAPSHOT_TAKEN = "snapshot_taken"
+    RECOVERY_COMPLETED = "recovery_completed"
 
 
 _event_counter = itertools.count(1)

@@ -154,6 +154,19 @@ def next_query_id() -> str:
     return f"q{next(_query_counter)}"
 
 
+def advance_query_counter(minimum_next: int) -> None:
+    """Ensure the next generated id is at least ``q{minimum_next}``.
+
+    Recovery calls this after rebuilding a system from a durability log: the
+    counter is process-global and restarts at 1, so without the bump a fresh
+    submission on a restarted server would collide with a recovered query id
+    (including cancelled and rejected ids, which stay registered forever).
+    """
+    global _query_counter
+    current = next(_query_counter)
+    _query_counter = itertools.count(max(current, minimum_next))
+
+
 @dataclass(frozen=True)
 class EntangledQuery:
     """The compiled form of one entangled query."""

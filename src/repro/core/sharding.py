@@ -55,8 +55,8 @@ import threading
 import time
 import zlib
 from collections import deque
-from contextlib import ExitStack, contextmanager
-from typing import Any, Callable, Optional, Sequence, Union
+from contextlib import ExitStack, contextmanager, nullcontext
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
 
 from repro.core import ir
 from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
@@ -453,6 +453,7 @@ class ShardedCoordinator(Coordinator):
                 )
             self._register_locked(request)
         self._workers.enqueue(shard, query.query_id)
+        self._maybe_checkpoint()
         return request
 
     def submit_many(
@@ -470,6 +471,21 @@ class ShardedCoordinator(Coordinator):
         compiled = [self._coerce_query(query, owner) for query in queries]
         batch: list[CoordinationRequest] = []
         to_enqueue: list[tuple[QueryShard, str]] = []
+        # One group-commit scope per batch (one fsync under the "batch"
+        # fsync policy, however many shards the submissions land on).
+        journal_scope = self.journal.group_commit() if self.journal is not None else nullcontext()
+        with journal_scope:
+            self._register_batch(compiled, batch, to_enqueue)
+        self._workers.enqueue_many(to_enqueue)
+        self._maybe_checkpoint()
+        return batch
+
+    def _register_batch(
+        self,
+        compiled: Sequence[ir.EntangledQuery],
+        batch: list[CoordinationRequest],
+        to_enqueue: list[tuple[QueryShard, str]],
+    ) -> None:
         for query in compiled:
             request = CoordinationRequest(query=query)
             batch.append(request)
@@ -502,8 +518,6 @@ class ShardedCoordinator(Coordinator):
                     continue
                 self._register_locked(request)
             to_enqueue.append((shard, query.query_id))
-        self._workers.enqueue_many(to_enqueue)
-        return batch
 
     # -- pending bookkeeping hooks ------------------------------------------------------
 
@@ -575,6 +589,8 @@ class ShardedCoordinator(Coordinator):
                         self._attempt_for(shard, query_id)
                     except Exception as exc:  # noqa: BLE001 - isolate poisoned events
                         self._workers.record_error(exc)
+        # Workers are a natural checkpoint safe point: no locks held here.
+        self._maybe_checkpoint()
 
     def _attempt_for(self, shard: QueryShard, query_id: str) -> Optional[ExecutionOutcome]:
         """One match attempt for a (possibly already gone) resident of ``shard``.
@@ -651,6 +667,7 @@ class ShardedCoordinator(Coordinator):
                         resident_ids = list(shard.pool.keys())
                     for query_id in resident_ids:
                         self._attempt_for(shard, query_id)
+        self._maybe_checkpoint()
         with self._lock:
             return self.statistics.queries_answered - answered_before
 
@@ -671,9 +688,67 @@ class ShardedCoordinator(Coordinator):
                     raise QueryAlreadyAnsweredError(query_id)
                 if request.status is not QueryStatus.PENDING or query_id not in shard.pool:
                     raise QueryNotPendingError(query_id)
+                # journal before the pool mutation (see the base cancel())
+                if self.journal is not None:
+                    self.journal.log_cancel(query_id)
                 query = shard.pool.pop(query_id)
                 shard.index.remove_query(query)
                 self._cancel_registered_locked(request)
+        self._maybe_checkpoint()
+
+    # -- durability overrides ----------------------------------------------------------
+
+    @contextmanager
+    def _all_coordination_locks(self) -> Iterator[None]:
+        """db lock → every shard lock (ascending, global last) → request lock.
+
+        The full lock set freezes every state transition: submissions (shard
+        + request locks), match passes (db lock), cancellations and waits.
+        Used for checkpoints and for replaying recovery records onto a system
+        whose worker pool is already running.
+        """
+        with ExitStack() as stack:
+            stack.enter_context(self._db_lock)
+            for shard in self._all_shards:
+                stack.enter_context(shard.lock)
+            stack.enter_context(self._lock)
+            yield
+
+    _checkpoint_locks = _all_coordination_locks
+    _recovery_commit_locks = _all_coordination_locks
+
+    @contextmanager
+    def _registration_scope(self, query: ir.EntangledQuery) -> Iterator[None]:
+        shard = self.shard_of(query)
+        with shard.lock, self._lock:
+            yield
+
+    def _discard_pending(self, query_id: str) -> None:
+        request = self._requests.get(query_id)
+        if request is None:
+            return
+        shard = self.shard_of(request.query)
+        query = shard.pool.pop(query_id, None)
+        if query is not None:
+            shard.index.remove_query(query)
+
+    def mark_all_dirty(self) -> None:
+        """Arm retry sweeps on every populated shard (end of recovery).
+
+        The idle-sweep backstop then re-attempts recovered pending queries in
+        the background, which is how a group whose crash fell between its
+        match and its commit record gets re-matched.
+        """
+        now = time.monotonic()
+        any_pending = False
+        for shard in self._all_shards:
+            with shard.lock:
+                if shard.pool:
+                    shard.dirty = True
+                    shard.dirty_since = now
+                    any_pending = True
+        if any_pending:
+            self._workers.kick()
 
     # -- inspection --------------------------------------------------------------------
 

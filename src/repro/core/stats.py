@@ -51,6 +51,13 @@ class CoordinationStatistics:
             self.grounding_attempts += match_stats.grounding_attempts
             self.domain_queries += match_stats.domain_queries
 
+    def load(self, counters: dict[str, int]) -> None:
+        """Restore counter values (recovery from a durability snapshot)."""
+        with self._lock:
+            for name, value in counters.items():
+                if hasattr(self, name) and not name.startswith("_"):
+                    setattr(self, name, value)
+
     def as_dict(self) -> dict[str, int]:
         """A plain dictionary view (for the admin interface and benchmarks)."""
         return {

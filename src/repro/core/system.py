@@ -24,6 +24,7 @@ from repro.core.answer import AnswerRelationRegistry
 from repro.core.compiler import compile_entangled
 from repro.core.config import SystemConfig
 from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
+from repro.core.durability import DurabilityManager, RecoveryReport
 from repro.core.events import EventBus, EventType
 from repro.core.executor import JointExecutor, SideEffectHook
 from repro.core.transactions import TransactionManager
@@ -91,18 +92,75 @@ class YoutopiaSystem:
             rng=self.rng,
             config=config,
         )
+        #: Durability subsystem (write-ahead log + snapshots).  Recovery runs
+        #: *before* the journal is attached so replayed transitions are not
+        #: re-journaled, and before the SQLite mirror attaches so the mirror's
+        #: initial sync sees the recovered tables.
+        self.durability: Optional[DurabilityManager] = None
+        self.recovery: Optional[RecoveryReport] = None
+        if config.data_dir is not None:
+            self.durability = DurabilityManager(
+                config.data_dir,
+                fsync_policy=config.fsync_policy,
+                snapshot_interval=config.snapshot_interval,
+            )
+            self.recovery = self.durability.recover(self)
+            self.coordinator.journal = self.durability
+            if self.recovery.has_state:
+                # Re-arm matching for recovered pending queries: a crash that
+                # fell between a match and its commit record left the group
+                # pending, and the dirty sweep re-attempts it.
+                self.coordinator.mark_all_dirty()
+                self.events.publish(
+                    EventType.RECOVERY_COMPLETED, **self.recovery.as_dict()
+                )
+                # A post-recovery checkpoint makes the next restart replay
+                # from a fresh snapshot instead of the whole log again.
+                self.coordinator.checkpoint()
         self._mirror: Optional[SQLiteMirror] = None
         if config.persist_to is not None:
-            self._mirror = SQLiteMirror(self.database, config.persist_to)
+            # The WAL's fsync policy extends to the mirror only when the
+            # durability subsystem is actually on; a mirror-only system keeps
+            # SQLite's fully-synchronous default (the pre-durability
+            # behaviour, and what config.py documents).
+            mirror_policy = config.fsync_policy if config.data_dir is not None else "always"
+            self._mirror = SQLiteMirror(
+                self.database, config.persist_to, fsync_policy=mirror_policy
+            )
             self._mirror.attach()
 
     # -- lifecycle -------------------------------------------------------------------------
 
     def close(self) -> None:
+        if self.durability is not None:
+            # A clean-shutdown checkpoint: restart replays nothing.  A
+            # failure here (disk full) must not abort the close — the WAL
+            # already holds everything the snapshot would have captured.
+            try:
+                self.coordinator.checkpoint()
+            except Exception as exc:  # noqa: BLE001 - close must complete
+                self.durability.note_checkpoint_failure(exc)
         self.coordinator.shutdown()
+        if self.durability is not None:
+            self.durability.close()
         if self._mirror is not None:
             self._mirror.close()
             self._mirror = None
+
+    @property
+    def recovered(self) -> bool:
+        """Whether this instance was rebuilt from prior durable state."""
+        return self.recovery is not None and self.recovery.has_state
+
+    def checkpoint(self) -> bool:
+        """Snapshot the recoverable state and truncate the WAL (if durable)."""
+        return self.coordinator.checkpoint()
+
+    def durability_stats(self) -> dict[str, Any]:
+        """A JSON-safe durability summary (``{"enabled": False}`` when off)."""
+        if self.durability is None:
+            return {"enabled": False}
+        return self.durability.stats()
 
     def __enter__(self) -> "YoutopiaSystem":
         return self
@@ -125,6 +183,15 @@ class YoutopiaSystem:
         statement = parse_statement(sql) if isinstance(sql, str) else sql
         if isinstance(statement, ast.EntangledSelect):
             return self.coordinator.submit(statement, owner=owner)
+        if self.durability is not None and not isinstance(statement, ast.Select):
+            # DDL/DML is journaled (apply, then record, atomically vs.
+            # checkpoints) so base-data changes replay in order on recovery;
+            # failing statements are never journaled.
+            result = self.durability.journaled_data(
+                format_statement(statement), lambda: self.engine.execute(statement)
+            )
+            self.coordinator._maybe_checkpoint()
+            return result
         return self.engine.execute(statement)
 
     def execute_script(
@@ -211,7 +278,13 @@ class YoutopiaSystem:
         types: Optional[Sequence[str]] = None,
         arity: Optional[int] = None,
     ) -> None:
-        self.answer_relations.declare(name, columns=columns, types=types, arity=arity)
+        def apply() -> None:
+            self.answer_relations.declare(name, columns=columns, types=types, arity=arity)
+
+        if self.durability is not None:
+            self.durability.journaled_declare(name, columns, types, arity, apply)
+        else:
+            apply()
 
     def answers(self, relation: str) -> list[tuple[Any, ...]]:
         return self.answer_relations.tuples(relation)

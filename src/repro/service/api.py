@@ -155,12 +155,17 @@ class ServiceStats:
     counts); ``pending`` is the current pending-pool size.  ``shards``
     describes the sharded coordinator's per-shard state (pending set size,
     provider-index size, queued match events, dirty flag); the inline
-    coordinator reports itself as one pseudo-shard.
+    coordinator reports itself as one pseudo-shard.  ``durability`` reports
+    the write-ahead-log subsystem (``{"enabled": False}`` for a memory-only
+    system; otherwise WAL/fsync/snapshot counters plus a ``recovery`` summary
+    of the last restart — see
+    :meth:`~repro.core.durability.DurabilityManager.stats`).
     """
 
     counters: Mapping[str, int]
     pending: int = 0
     shards: tuple[Mapping[str, int], ...] = ()
+    durability: Mapping[str, Any] = field(default_factory=lambda: {"enabled": False})
 
     def __getitem__(self, key: str) -> int:
         return self.counters[key]

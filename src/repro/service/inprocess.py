@@ -151,6 +151,7 @@ class InProcessService:
             counters=self.system.statistics(),
             pending=self.coordinator.pending_count(),
             shards=tuple(self.coordinator.shard_stats()),
+            durability=self.system.durability_stats(),
         )
 
     def drain(self, timeout: Optional[float] = None) -> bool:

@@ -576,6 +576,7 @@ class RemoteService:
             counters=dict(payload.get("counters") or {}),
             pending=int(payload.get("pending", 0)),
             shards=tuple(dict(shard) for shard in payload.get("shards") or ()),
+            durability=dict(payload.get("durability") or {"enabled": False}),
         )
 
     def declare_answer_relation(

@@ -113,6 +113,7 @@ class CoordinationServer:
         self._connections: set[_ClientConnection] = set()
         self._lock = threading.Lock()
         self._started = False
+        self._stopping = False
         self._stopped = threading.Event()
 
     # -- lifecycle --------------------------------------------------------------------------
@@ -141,7 +142,12 @@ class CoordinationServer:
         return self.address
 
     def wait_stopped(self, timeout: Optional[float] = None) -> bool:
-        """Block until :meth:`stop` runs (the ``serve`` entry point's loop)."""
+        """Block until :meth:`stop` *completed* (the ``serve`` entry point's loop).
+
+        The event fires only after the owned service is closed, so a durable
+        system's clean-shutdown checkpoint is on disk before the ``serve``
+        process is allowed to exit.
+        """
         return self._stopped.wait(timeout)
 
     def stop(self) -> None:
@@ -151,21 +157,26 @@ class CoordinationServer:
         handles fast with :class:`~repro.errors.ServiceUnavailableError`.
         """
         with self._lock:
-            if self._stopped.is_set():
+            if self._stopping:
                 return
-            self._stopped.set()
+            self._stopping = True
             listener, self._listener = self._listener, None
             connections = list(self._connections)
             self._connections.clear()
-        if listener is not None:
-            try:
-                listener.close()
-            except OSError:
-                pass
-        for connection in connections:
-            connection.close()
-        if self._close_service:
-            self.service.close()
+        try:
+            if listener is not None:
+                try:
+                    listener.close()
+                except OSError:
+                    pass
+            for connection in connections:
+                connection.close()
+            if self._close_service:
+                self.service.close()
+        finally:
+            # always release wait_stopped(), even when closing the service
+            # failed (e.g. a disk-full error from the shutdown checkpoint)
+            self._stopped.set()
 
     close = stop
 
@@ -180,7 +191,7 @@ class CoordinationServer:
 
     def _accept_loop(self) -> None:
         listener = self._listener
-        while listener is not None and not self._stopped.is_set():
+        while listener is not None and not self._stopping:
             try:
                 sock, peer = listener.accept()
             except OSError:
@@ -188,7 +199,7 @@ class CoordinationServer:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             connection = _ClientConnection(self, sock, peer)
             with self._lock:
-                if self._stopped.is_set():
+                if self._stopping:
                     connection.close()
                     break
                 self._connections.add(connection)
@@ -361,6 +372,7 @@ class CoordinationServer:
             "counters": dict(stats.counters),
             "pending": stats.pending,
             "shards": [dict(shard) for shard in stats.shards],
+            "durability": dict(stats.durability),
         }
 
     def _op_declare_answer_relation(

@@ -75,14 +75,31 @@ def _decode_value(column: Column, value: Any) -> Any:
     return value
 
 
+#: ``SystemConfig.fsync_policy`` → SQLite ``PRAGMA synchronous`` level, so a
+#: mirror attached next to the coordination WAL batches its fsyncs with the
+#: same discipline (``always`` = FULL, ``batch`` = NORMAL, ``never`` = OFF).
+_SYNCHRONOUS_LEVELS = {"always": "FULL", "batch": "NORMAL", "never": "OFF"}
+
+
 class SQLiteMirror:
     """Write-through mirror of a :class:`Database` into a SQLite file."""
 
-    def __init__(self, database: Database, path: str | Path) -> None:
+    def __init__(
+        self, database: Database, path: str | Path, fsync_policy: str = "always"
+    ) -> None:
+        if fsync_policy not in _SYNCHRONOUS_LEVELS:
+            raise StorageError(
+                f"unknown fsync policy {fsync_policy!r}; "
+                f"expected one of {tuple(_SYNCHRONOUS_LEVELS)}"
+            )
         self.database = database
         self.path = str(path)
+        self.fsync_policy = fsync_policy
         self._connection = sqlite3.connect(self.path)
         self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute(
+            f"PRAGMA synchronous={_SYNCHRONOUS_LEVELS[fsync_policy]}"
+        )
         self._attached = False
 
     # -- lifecycle ---------------------------------------------------------------
