@@ -1,0 +1,98 @@
+"""Async travel booking: the asyncio request plane, end to end.
+
+The paper frames Youtopia's coordination component as the backend of a
+travel web site's middle tier.  An asyncio middle tier wants *awaitable*
+coordination: a request handler submits an entangled query and ``await``\\s
+the handle — no thread parks while the query sits pending.
+
+This walkthrough runs the whole async stack in one program:
+
+* an :class:`~repro.service.aio.AsyncCoordinationServer` — one event loop
+  serving every connection (no thread per socket, no thread per request);
+* two :class:`~repro.service.aio.AsyncRemoteService` clients — Kramer's and
+  Jerry's sessions, each a single multiplexed TCP connection;
+* ``await asyncio.gather(kramer_handle, jerry_handle)`` — both bookings
+  resolve the moment the coordinator matches the pair, pushed to each
+  client over its connection.
+
+Run with:  python examples/async_travel.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import SubmitRequest, SystemConfig  # noqa: E402
+from repro.service.aio import AsyncCoordinationServer, AsyncRemoteService  # noqa: E402
+
+SETUP = """
+CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT);
+INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (134, 'Paris'), (136, 'Rome');
+"""
+
+
+def booking_sql(owner: str, partner: str) -> str:
+    return (
+        f"SELECT '{owner}', fno INTO ANSWER Reservation "
+        "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+        f"AND ('{partner}', fno) IN ANSWER Reservation CHOOSE 1"
+    )
+
+
+async def main() -> int:
+    print("== Async travel booking (single event loop, two clients) ==")
+
+    async with AsyncCoordinationServer(config=SystemConfig(seed=0)) as server:
+        host, port = server.address
+        print(f"asyncio coordination server listening on {host}:{port}")
+
+        kramer_session = await AsyncRemoteService.connect(host, port)
+        jerry_session = await AsyncRemoteService.connect(host, port)
+
+        await kramer_session.execute_script(SETUP)
+        await kramer_session.declare_answer_relation(
+            "Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"]
+        )
+
+        # Kramer books first: his query is pending until Jerry shows up.
+        kramer_handle = await kramer_session.submit(
+            SubmitRequest(sql=booking_sql("Kramer", "Jerry"), owner="Kramer")
+        )
+        print(f"Kramer submitted {kramer_handle.query_id}: pending={not kramer_handle.done()}")
+
+        # Jerry books from his own connection; the pair coordinates.
+        jerry_handle = await jerry_session.submit(
+            SubmitRequest(sql=booking_sql("Jerry", "Kramer"), owner="Jerry")
+        )
+
+        # Awaitable handles: both envelopes arrive via server push.
+        kramer_env, jerry_env = await asyncio.gather(kramer_handle, jerry_handle)
+        (_relation, (_who, kramer_flight)), *_ = kramer_env.all_tuples()
+        (_relation, (_who, jerry_flight)), *_ = jerry_env.all_tuples()
+        print(
+            f"booked together: Kramer -> flight {kramer_flight}, "
+            f"Jerry -> flight {jerry_flight} "
+            f"(group of {len(kramer_env.group)})"
+        )
+        assert kramer_flight == jerry_flight
+
+        stats = await kramer_session.stats()
+        transport = dict(stats.transport)
+        print(
+            f"transport: {transport['connections_open']} connections, "
+            f"{transport['requests_total']} requests, "
+            f"{transport['bytes_out']} bytes pushed+answered"
+        )
+
+        await kramer_session.close()
+        await jerry_session.close()
+    print("server stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))

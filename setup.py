@@ -9,4 +9,6 @@ metadata lives in ``pyproject.toml``.
 
 from setuptools import setup
 
-setup()
+# The py.typed marker (PEP 561) ships with the package so downstream type
+# checkers consume the public API's annotations.
+setup(package_data={"repro": ["py.typed"]})

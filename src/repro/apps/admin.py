@@ -146,6 +146,26 @@ class AdminInterface:
             )
         return "\n".join(lines) or "(no shards)"
 
+    def transport_stats(self) -> dict[str, int]:
+        """Request-plane counters (empty for a purely in-process service)."""
+        return dict(self.service.stats().transport)
+
+    def transport_text(self) -> str:
+        stats = self.transport_stats()
+        if not stats:
+            return "(no transport: in-process service)"
+        return "\n".join(
+            [
+                f"connections: open={stats.get('connections_open')} "
+                f"total={stats.get('connections_total')}",
+                f"requests: in_flight={stats.get('requests_in_flight')} "
+                f"total={stats.get('requests_total')} "
+                f"rejected_backpressure={stats.get('rejected_backpressure')}",
+                f"traffic: bytes_in={stats.get('bytes_in')} "
+                f"bytes_out={stats.get('bytes_out')}",
+            ]
+        )
+
     def durability_stats(self) -> dict:
         """The durability subsystem's counters (``{"enabled": False}`` when off)."""
         return dict(self.service.stats().durability)
@@ -215,6 +235,8 @@ class AdminInterface:
         sections.append(self.match_graph_text())
         sections.append("\n-- matching shards --")
         sections.append(self.shard_text())
+        sections.append("\n-- transport --")
+        sections.append(self.transport_text())
         sections.append("\n-- durability --")
         sections.append(self.durability_text())
         sections.append("\n-- coordination statistics --")

@@ -33,6 +33,7 @@ from repro.core.config import SystemConfig
 from repro.core.coordinator import QueryStatus
 from repro.core.system import YoutopiaSystem
 from repro.errors import YoutopiaError
+from repro.service.aio import BackgroundAsyncServer, BridgedService, connect_bridged
 from repro.service.api import RelationResult
 from repro.service.inprocess import InProcessService
 from repro.service.remote import CoordinationServer, RemoteService
@@ -81,7 +82,9 @@ class CommandLine:
 
     def __init__(
         self,
-        system: Optional[Union[YoutopiaSystem, InProcessService, RemoteService]] = None,
+        system: Optional[
+            Union[YoutopiaSystem, InProcessService, RemoteService, BridgedService]
+        ] = None,
         user: Optional[str] = None,
     ) -> None:
         if system is None:
@@ -243,6 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser("serve", help="host a coordination service over TCP")
     serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
     serve.add_argument("--port", type=int, default=7399, help="port to bind (0 = ephemeral)")
+    serve.add_argument(
+        "--transport",
+        choices=["threaded", "asyncio"],
+        default="threaded",
+        help="request plane: classic thread-per-connection server, or the "
+        "single-event-loop asyncio server (same wire protocol; any client "
+        "connects to either)",
+    )
     serve.add_argument("--seed", type=int, default=None, help="CHOOSE tie-break seed")
     serve.add_argument(
         "--script", default=None, help="SQL script to run before serving (schema + data)"
@@ -269,6 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
     connect = commands.add_parser("connect", help="open a shell against a remote server")
     connect.add_argument("--host", default="127.0.0.1", help="server host")
     connect.add_argument("--port", type=int, default=7399, help="server port")
+    connect.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="connect through the multiplexed asyncio client "
+        "(AsyncRemoteService behind a synchronous shell bridge)",
+    )
     return parser
 
 
@@ -280,8 +298,16 @@ def build_server(
     data_dir: Optional[str] = None,
     fsync_policy: str = "batch",
     snapshot_interval: int = 1000,
-) -> CoordinationServer:
+    transport: str = "threaded",
+) -> Union[CoordinationServer, BackgroundAsyncServer]:
     """Assemble (and start) the server the ``serve`` sub-command runs.
+
+    ``transport`` selects the request plane: ``"threaded"`` (the classic
+    thread-per-connection :class:`~repro.service.remote.CoordinationServer`)
+    or ``"asyncio"`` (the single-event-loop
+    :class:`~repro.service.aio.AsyncCoordinationServer`, hosted here on a
+    background loop thread).  Both speak the same wire protocol, so any
+    client connects to either.
 
     With ``data_dir`` the system journals every state transition to a
     write-ahead log and recovers it on restart.  The ``--script`` bootstrap
@@ -309,7 +335,13 @@ def build_server(
     service = InProcessService(config=config)
     if script:
         service = _bootstrap(service, config, script, data_dir)
-    server = CoordinationServer(service=service, host=host, port=port, close_service=True)
+    server: Union[CoordinationServer, BackgroundAsyncServer]
+    if transport == "asyncio":
+        server = BackgroundAsyncServer(
+            service=service, host=host, port=port, close_service=True
+        )
+    else:
+        server = CoordinationServer(service=service, host=host, port=port, close_service=True)
     server.start()
     return server
 
@@ -382,6 +414,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
             data_dir=args.data_dir,
             fsync_policy=args.fsync_policy,
             snapshot_interval=args.snapshot_interval,
+            transport=args.transport,
         )
         system = server.service.system
         if system.recovered and system.recovery is not None:
@@ -394,7 +427,10 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
                 flush=True,
             )
         host, port = server.address
-        print(f"youtopia coordination server listening on {host}:{port}", flush=True)
+        print(
+            f"youtopia coordination server ({args.transport}) listening on {host}:{port}",
+            flush=True,
+        )
         try:
             server.wait_stopped()
         except KeyboardInterrupt:
@@ -403,10 +439,16 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
             server.stop()
         return 0
     if args.command == "connect":
-        service = RemoteService.connect(args.host, args.port)
+        service: Union[RemoteService, BridgedService]
+        if args.use_async:
+            service = connect_bridged(args.host, args.port)
+            flavour = " (asyncio client)"
+        else:
+            service = RemoteService.connect(args.host, args.port)
+            flavour = ""
         return _repl(
             CommandLine(service),
-            f"Youtopia SQL shell — connected to {args.host}:{args.port}; "
+            f"Youtopia SQL shell — connected to {args.host}:{args.port}{flavour}; "
             ".help for help, .quit to exit",
         )
     return _repl(CommandLine(), "Youtopia SQL shell — type .help for help, .quit to exit")

@@ -536,7 +536,9 @@ class Coordinator:
                     if remaining <= 0:
                         self.statistics.queries_timed_out += 1
                         self.events.publish(EventType.QUERY_TIMED_OUT, query_id=query_id)
-                        raise CoordinationTimeoutError(query_id, timeout or 0.0)
+                        # deadline is only set for a non-None timeout: report
+                        # the caller's actual value, 0 included.
+                        raise CoordinationTimeoutError(query_id, timeout)
                 self._answered.wait(remaining)
 
     def wait_many(

@@ -16,6 +16,15 @@ Public surface (also re-exported from the top-level :mod:`repro` package):
 * :class:`~repro.service.remote.CoordinationServer` /
   :class:`~repro.service.remote.RemoteService` — the JSON-over-TCP network
   transport (same protocols, remote system)
+* the asyncio surface (:mod:`repro.service.aio`):
+  :class:`~repro.service.aio.AsyncCoordinationService` protocols, awaitable
+  :class:`~repro.service.aio.AsyncRequestHandle` objects,
+  :class:`~repro.service.aio.AsyncInProcessService`, and the multiplexed
+  single-event-loop network plane
+  (:class:`~repro.service.aio.AsyncCoordinationServer` /
+  :class:`~repro.service.aio.AsyncRemoteService`) over the same wire codec
+* :class:`~repro.service.metrics.TransportMetrics` — request-plane counters
+  both servers publish through :attr:`~repro.service.api.ServiceStats.transport`
 * :class:`~repro.core.config.SystemConfig` — typed system configuration
 
 See ``docs/API.md`` for the full contract, the remote deployment guide and
@@ -24,6 +33,19 @@ facade calls; ``docs/ARCHITECTURE.md`` places this layer in the system map.
 """
 
 from repro.core.config import SystemConfig
+from repro.service.aio import (
+    AsyncCoordinationServer,
+    AsyncCoordinationService,
+    AsyncInProcessService,
+    AsyncIntrospectionService,
+    AsyncRemoteHandle,
+    AsyncRemoteService,
+    AsyncRequestHandle,
+    BackgroundAsyncServer,
+    BridgedService,
+    connect_async,
+    connect_bridged,
+)
 from repro.service.api import (
     AnswerEnvelope,
     CoordinationService,
@@ -35,6 +57,7 @@ from repro.service.api import (
 )
 from repro.service.handles import RequestHandle
 from repro.service.inprocess import InProcessService
+from repro.service.metrics import TransportMetrics
 from repro.service.remote import (
     CoordinationServer,
     RemoteHandle,
@@ -45,6 +68,15 @@ from repro.service.remote import (
 
 __all__ = [
     "AnswerEnvelope",
+    "AsyncCoordinationServer",
+    "AsyncCoordinationService",
+    "AsyncInProcessService",
+    "AsyncIntrospectionService",
+    "AsyncRemoteHandle",
+    "AsyncRemoteService",
+    "AsyncRequestHandle",
+    "BackgroundAsyncServer",
+    "BridgedService",
     "CoordinationServer",
     "CoordinationService",
     "InProcessService",
@@ -57,6 +89,9 @@ __all__ = [
     "Submittable",
     "SubmitRequest",
     "SystemConfig",
+    "TransportMetrics",
     "connect",
+    "connect_async",
+    "connect_bridged",
     "serve",
 ]

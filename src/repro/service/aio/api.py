@@ -1,0 +1,110 @@
+"""Async protocols of the coordination service: the awaitable contract.
+
+This module mirrors :mod:`repro.service.api` for asyncio callers.  The DTOs
+(:class:`~repro.service.api.SubmitRequest`,
+:class:`~repro.service.api.AnswerEnvelope`,
+:class:`~repro.service.api.RelationResult`,
+:class:`~repro.service.api.ServiceStats`) are shared unchanged — only the
+call surface changes: every method is a coroutine, and ``submit`` /
+``submit_many`` return **awaitable handles** (``await handle`` yields the
+:class:`~repro.service.api.AnswerEnvelope`) instead of thread-blocking ones.
+
+Two implementations exist:
+
+* :class:`~repro.service.aio.inprocess.AsyncInProcessService` — wraps the
+  synchronous :class:`~repro.service.InProcessService`; blocking matching and
+  durability work runs on an executor, never on the event loop, and waiting
+  is bridged from the coordinator's thread-side completion callbacks via
+  ``loop.call_soon_threadsafe`` — thousands of pending queries cost zero
+  threads while they wait.
+* :class:`~repro.service.aio.client.AsyncRemoteService` — one multiplexed
+  TCP connection to a coordination server (either transport), speaking the
+  exact wire codec of :mod:`repro.service.remote.codec`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.core import ir
+from repro.service.api import (
+    AnswerEnvelope,
+    RelationResult,
+    ServiceStats,
+    Submittable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.aio.handles import AsyncRequestHandle
+
+
+@runtime_checkable
+class AsyncCoordinationService(Protocol):
+    """The asyncio-native coordination API (awaitable twin of
+    :class:`~repro.service.api.CoordinationService`)."""
+
+    async def submit(
+        self, request: Submittable, owner: Optional[str] = None
+    ) -> "AsyncRequestHandle":
+        """Submit one entangled query; returns an awaitable handle."""
+        ...
+
+    async def submit_many(
+        self, requests: Sequence[Submittable], owner: Optional[str] = None
+    ) -> list["AsyncRequestHandle"]:
+        """Submit a batch in one coordination pass; one handle per request."""
+        ...
+
+    async def wait(self, query_id: str, timeout: Optional[float] = None) -> AnswerEnvelope:
+        """Suspend (without blocking a thread) until a query is answered."""
+        ...
+
+    async def wait_many(
+        self, query_ids: Sequence[str], timeout: Optional[float] = None
+    ) -> list[AnswerEnvelope]:
+        """Suspend until every listed query is answered (shared deadline)."""
+        ...
+
+    async def cancel(self, query_id: str) -> None:
+        """Withdraw a pending query from the pool."""
+        ...
+
+    async def query(self, sql: str) -> RelationResult:
+        """Run a plain SELECT and return its rows."""
+        ...
+
+    async def answers(self, relation: str) -> list[tuple[Any, ...]]:
+        """The current contents of an answer relation."""
+        ...
+
+    async def stats(self) -> ServiceStats:
+        """Coordination statistics plus the pending-pool size."""
+        ...
+
+
+@runtime_checkable
+class AsyncIntrospectionService(Protocol):
+    """Admin-grade extensions, awaitable flavour."""
+
+    async def request(self, query_id: str) -> "AsyncRequestHandle":
+        """A handle for an already-registered query."""
+        ...
+
+    async def requests(self) -> list["AsyncRequestHandle"]:
+        """Handles for every request ever registered."""
+        ...
+
+    async def pending_queries(self) -> list[ir.EntangledQuery]:
+        """The current pending pool."""
+        ...
+
+    async def retry_pending(self) -> int:
+        """Re-attempt coordination for the whole pool; returns newly answered."""
+        ...

@@ -159,13 +159,19 @@ class ServiceStats:
     the write-ahead-log subsystem (``{"enabled": False}`` for a memory-only
     system; otherwise WAL/fsync/snapshot counters plus a ``recovery`` summary
     of the last restart — see
-    :meth:`~repro.core.durability.DurabilityManager.stats`).
+    :meth:`~repro.core.durability.DurabilityManager.stats`).  ``transport``
+    describes the network request plane when the service is reached through a
+    server (open connections, in-flight requests, bytes in/out,
+    backpressure rejections — see
+    :class:`~repro.service.metrics.TransportMetrics`); an in-process service
+    reports an empty mapping.
     """
 
     counters: Mapping[str, int]
     pending: int = 0
     shards: tuple[Mapping[str, int], ...] = ()
     durability: Mapping[str, Any] = field(default_factory=lambda: {"enabled": False})
+    transport: Mapping[str, int] = field(default_factory=dict)
 
     def __getitem__(self, key: str) -> int:
         return self.counters[key]

@@ -177,10 +177,22 @@ class RemoteHandle:
     def result(self, timeout: Optional[float] = None) -> AnswerEnvelope:
         """Block (push-driven, no polling) until answered; envelope or raise."""
         if not self._terminal_event.wait(timeout):
-            raise CoordinationTimeoutError(self._query_id, timeout or 0.0)
+            # wait() only returns False with a finite timeout, so the error
+            # reports the actual configured deadline (``timeout or 0.0``
+            # would misrender an explicit 0 and hide the real value).
+            raise CoordinationTimeoutError(
+                self._query_id, timeout if timeout is not None else 0.0
+            )
         with self._lock:
             if self._status is QueryStatus.ANSWERED:
-                assert self._answer is not None
+                if self._answer is None:
+                    # the server degraded the push because the answer payload
+                    # could not cross the wire (see codec.encode_done_push)
+                    raise ProtocolError(
+                        self._error
+                        or f"query {self._query_id!r} answered, but the answer "
+                        "could not be delivered"
+                    )
                 return AnswerEnvelope(
                     query_id=self._query_id,
                     owner=self._owner,
@@ -571,13 +583,7 @@ class RemoteService:
         return [tuple(values) for values in self._call("answers", relation=relation)]
 
     def stats(self) -> ServiceStats:
-        payload = self._call("stats")
-        return ServiceStats(
-            counters=dict(payload.get("counters") or {}),
-            pending=int(payload.get("pending", 0)),
-            shards=tuple(dict(shard) for shard in payload.get("shards") or ()),
-            durability=dict(payload.get("durability") or {"enabled": False}),
-        )
+        return codec.decode_stats(self._call("stats"))
 
     def declare_answer_relation(
         self,

@@ -28,10 +28,11 @@ service and an in-process one.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
-from typing import Any, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from repro import errors
 from repro.errors import ProtocolError
@@ -81,24 +82,23 @@ def _read_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def read_frame(sock: socket.socket) -> Optional[dict[str, Any]]:
-    """Read one envelope from a socket.
-
-    Returns ``None`` on a clean end-of-stream (the peer closed between
-    frames) and raises :class:`~repro.errors.ProtocolError` for truncated or
-    malformed frames and version mismatches.
-    """
-    header = _read_exact(sock, _HEADER.size)
-    if header is None:
-        return None
+def decode_frame_length(header: bytes) -> int:
+    """Validate a 4-byte length prefix and return the declared body length."""
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"declared frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
         )
-    body = _read_exact(sock, length)
-    if body is None:
-        raise ProtocolError("connection closed between frame header and body")
+    return length
+
+
+def decode_frame_body(body: bytes) -> dict[str, Any]:
+    """Decode one frame body (the bytes after the length prefix) to its envelope.
+
+    Shared by the socket reader below and the asyncio transport
+    (:mod:`repro.service.aio`), which reads the same wire format through
+    stream APIs — both ends of either transport speak identical frames.
+    """
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -112,6 +112,60 @@ def read_frame(sock: socket.socket) -> Optional[dict[str, Any]]:
             f"this endpoint speaks {PROTOCOL_VERSION}"
         )
     return payload
+
+
+async def read_frame_async(
+    reader: "asyncio.StreamReader", on_bytes: Optional[Callable[[int], None]] = None
+) -> Optional[dict[str, Any]]:
+    """Read one envelope from an asyncio stream (the coroutine twin of
+    :func:`read_frame` — same return/raise contract, same wire format).
+
+    Returns ``None`` on a clean end-of-stream; raises
+    :class:`~repro.errors.ProtocolError` for truncated or malformed frames
+    and version mismatches; connection failures surface as ``OSError`` /
+    ``ConnectionError`` from the stream.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)} of {_HEADER.size} bytes read)"
+        ) from exc
+    length = decode_frame_length(header)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of {length} bytes read)"
+        ) from exc
+    if on_bytes is not None:
+        on_bytes(_HEADER.size + length)
+    return decode_frame_body(body)
+
+
+def read_frame(
+    sock: socket.socket, on_bytes: Optional[Callable[[int], None]] = None
+) -> Optional[dict[str, Any]]:
+    """Read one envelope from a socket.
+
+    Returns ``None`` on a clean end-of-stream (the peer closed between
+    frames) and raises :class:`~repro.errors.ProtocolError` for truncated or
+    malformed frames and version mismatches.  ``on_bytes`` (when given) is
+    called with the frame's total wire size — header plus body — so servers
+    can account traffic without re-encoding.
+    """
+    header = _read_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    length = decode_frame_length(header)
+    body = _read_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between frame header and body")
+    if on_bytes is not None:
+        on_bytes(_HEADER.size + length)
+    return decode_frame_body(body)
 
 
 # ---------------------------------------------------------------------------
@@ -133,6 +187,25 @@ def error_frame(frame_id: int, exc: BaseException) -> dict[str, Any]:
 
 def push_frame(kind: str, data: Mapping[str, Any]) -> dict[str, Any]:
     return {"v": PROTOCOL_VERSION, "push": kind, "data": dict(data)}
+
+
+def encode_done_push(record: Any) -> bytes:
+    """Encode a ``done`` push for one request record, degrading safely.
+
+    When the full state cannot cross the wire (an answer payload over
+    :data:`MAX_FRAME_BYTES`, or a value JSON cannot carry), the push falls
+    back to the same state with the answer stripped and the failure noted in
+    ``error`` — still correlated by query id, so the watching client resolves
+    with a typed error instead of waiting forever for a push that silently
+    failed to encode.  Used by both network servers.
+    """
+    state = encode_request_state(record)
+    try:
+        return encode_frame(push_frame("done", state))
+    except ProtocolError as exc:
+        state["answer"] = None
+        state["error"] = f"answer could not be delivered: {exc}"
+        return encode_frame(push_frame("done", state))
 
 
 # ---------------------------------------------------------------------------
@@ -300,6 +373,30 @@ def encode_request_state(record: Any) -> dict[str, Any]:
         "description": record.query.describe(),
         "answer": None if record.answer is None else encode_answer(record.answer),
     }
+
+
+def encode_stats(stats: Any, transport: Mapping[str, int]) -> dict[str, Any]:
+    """``ServiceStats + a server's transport snapshot -> JSON`` (one source
+    of the wire shape for both servers)."""
+    return {
+        "counters": dict(stats.counters),
+        "pending": stats.pending,
+        "shards": [dict(shard) for shard in stats.shards],
+        "durability": dict(stats.durability),
+        "transport": dict(transport),
+    }
+
+
+def decode_stats(payload: Mapping[str, Any]) -> Any:
+    from repro.service.api import ServiceStats
+
+    return ServiceStats(
+        counters=dict(payload.get("counters") or {}),
+        pending=int(payload.get("pending", 0)),
+        shards=tuple(dict(shard) for shard in payload.get("shards") or ()),
+        durability=dict(payload.get("durability") or {"enabled": False}),
+        transport=dict(payload.get("transport") or {}),
+    )
 
 
 def encode_relation_result(result: Any) -> dict[str, Any]:

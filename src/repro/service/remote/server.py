@@ -35,6 +35,7 @@ from repro.errors import ProtocolError
 from repro.service.api import RelationResult
 from repro.service.handles import RequestHandle
 from repro.service.inprocess import InProcessService
+from repro.service.metrics import TransportMetrics
 from repro.service.remote import codec
 
 
@@ -62,12 +63,25 @@ class _ClientConnection:
 
     def send(self, payload: dict[str, Any]) -> bool:
         """Write one frame; ``False`` (never raises) once the peer is gone."""
-        frame = codec.encode_frame(payload)
+        try:
+            frame = codec.encode_frame(payload)
+        except ProtocolError as exc:
+            # An unencodable result must not leave the client's RPC hanging:
+            # marshal the encoding failure back under the correlation id.
+            frame_id = payload.get("id")
+            frame = codec.encode_frame(
+                codec.error_frame(frame_id if isinstance(frame_id, int) else -1, exc)
+            )
+        return self.send_encoded(frame)
+
+    def send_encoded(self, frame: bytes) -> bool:
+        """Write pre-encoded bytes; ``False`` (never raises) once the peer is gone."""
         with self._write_lock:
             if self._closed:
                 return False
             try:
                 self.sock.sendall(frame)
+                self.server.metrics.add_bytes_out(len(frame))
                 return True
             except OSError:
                 self._closed = True
@@ -110,6 +124,7 @@ class CoordinationServer:
         self._port = port
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
+        self.metrics = TransportMetrics()
         self._connections: set[_ClientConnection] = set()
         self._lock = threading.Lock()
         self._started = False
@@ -211,10 +226,11 @@ class CoordinationServer:
             ).start()
 
     def _connection_loop(self, connection: _ClientConnection) -> None:
+        self.metrics.connection_opened()
         try:
             while True:
                 try:
-                    frame = codec.read_frame(connection.sock)
+                    frame = codec.read_frame(connection.sock, on_bytes=self.metrics.add_bytes_in)
                 except ProtocolError as exc:
                     # A malformed frame poisons the stream: report and drop.
                     connection.send(codec.error_frame(-1, exc))
@@ -230,12 +246,14 @@ class CoordinationServer:
                 ).start()
         finally:
             connection.close()
+            self.metrics.connection_closed()
             with self._lock:
                 self._connections.discard(connection)
 
     def _handle_request(self, connection: _ClientConnection, frame: dict[str, Any]) -> None:
         frame_id = frame.get("id")
         op = frame.get("op")
+        self.metrics.request_started()
         try:
             if not isinstance(frame_id, int):
                 raise ProtocolError(f"request frame without integer id: {frame!r}")
@@ -249,6 +267,8 @@ class CoordinationServer:
         except Exception as exc:  # noqa: BLE001 - every failure is marshalled back
             connection.send(codec.error_frame(frame_id if isinstance(frame_id, int) else -1, exc))
             return
+        finally:
+            self.metrics.request_finished()
         connection.send(codec.response_frame(frame_id, result))
         if op == "shutdown":
             self.stop()
@@ -272,7 +292,9 @@ class CoordinationServer:
         if state["status"] == "pending" and connection.claim_watch(handle.query_id):
 
             def push(record: Any) -> None:
-                connection.send(codec.push_frame("done", codec.encode_request_state(record)))
+                # encode_done_push degrades an unencodable answer to a
+                # correlated error state rather than dropping the push
+                connection.send_encoded(codec.encode_done_push(record))
 
             self.service.coordinator.add_done_callback(handle.query_id, push)
         return state
@@ -367,13 +389,7 @@ class CoordinationServer:
         return [list(values) for values in self.service.answers(relation)]
 
     def _op_stats(self, _connection: _ClientConnection) -> dict[str, Any]:
-        stats = self.service.stats()
-        return {
-            "counters": dict(stats.counters),
-            "pending": stats.pending,
-            "shards": [dict(shard) for shard in stats.shards],
-            "durability": dict(stats.durability),
-        }
+        return codec.encode_stats(self.service.stats(), self.metrics.snapshot())
 
     def _op_declare_answer_relation(
         self,

@@ -17,6 +17,11 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
 
 EXPECTED_OUTPUT = {
     "quickstart.py": ["coordination succeeded"],
+    "async_travel.py": [
+        "Async travel booking",
+        "booked together",
+        "server stopped",
+    ],
     "travel_pair.py": ["Book a flight with a friend", "Final account view"],
     "travel_group.py": ["Group flight booking", "groups matched"],
     "travel_adhoc.py": ["only Kramer and Elaine share a hotel"],

@@ -248,6 +248,17 @@ class TestTypedErrorsAcrossTheWire:
         assert excinfo.value.query_id == handle.query_id
         assert excinfo.value.timeout == pytest.approx(0.05)
 
+    def test_handle_result_timeout_reports_configured_deadline(self, service):
+        """The timeout error carries the caller's actual deadline, 0 included."""
+        handle = service.submit(SubmitRequest(sql=unmatchable_sql(fresh_owner("td"))))
+        with pytest.raises(CoordinationTimeoutError) as excinfo:
+            handle.result(timeout=0.25)
+        assert excinfo.value.query_id == handle.query_id
+        assert excinfo.value.timeout == pytest.approx(0.25)
+        with pytest.raises(CoordinationTimeoutError) as zero_info:
+            handle.result(timeout=0)
+        assert zero_info.value.timeout == 0
+
     def test_parse_error_round_trips_with_location(self, service):
         with pytest.raises(ParseError):
             service.query("SELECT FROM WHERE")

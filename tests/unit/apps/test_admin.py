@@ -92,6 +92,37 @@ class TestStateDump:
         assert "Flights: 2 rows" in text
         assert "Reservation: 2 tuples" in text
         assert "queries_answered = 2" in text
+        assert "-- transport --" in text
+        assert "(no transport: in-process service)" in text
+
+    def test_transport_section_renders_server_counters(self, admin, monkeypatch):
+        # a service fronted by a network server reports transport counters
+        from repro.service.api import ServiceStats
+        from repro.service.metrics import TransportMetrics
+
+        metrics = TransportMetrics()
+        metrics.connection_opened()
+        metrics.request_started()
+        metrics.add_bytes_in(120)
+        metrics.add_bytes_out(450)
+        metrics.request_rejected()
+        base = admin.service.stats()
+        monkeypatch.setattr(
+            admin.service,
+            "stats",
+            lambda: ServiceStats(
+                counters=base.counters,
+                pending=base.pending,
+                shards=base.shards,
+                durability=base.durability,
+                transport=metrics.snapshot(),
+            ),
+        )
+        text = admin.transport_text()
+        assert "connections: open=1 total=1" in text
+        assert "in_flight=1" in text
+        assert "rejected_backpressure=1" in text
+        assert "bytes_in=120" in text and "bytes_out=450" in text
 
     def test_answer_relation_text(self, system, admin):
         system.execute(KRAMER_SQL, owner="Kramer")

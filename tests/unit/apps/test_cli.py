@@ -199,6 +199,44 @@ class TestRemoteShell:
         assert remote_shell.run_line("SELECT * FROM Nowhere").startswith("error:")
 
 
+class TestAsyncTransportShell:
+    """serve --transport asyncio + connect --async: the same shell over the
+    asyncio request plane (build_server and the bridge, exactly as main())."""
+
+    @pytest.fixture
+    def async_shell(self, tmp_path):
+        from repro.apps.cli import build_server
+        from repro.service.aio import connect_bridged
+
+        script = tmp_path / "schema.sql"
+        script.write_text(
+            "CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT);\n"
+            "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (136, 'Rome');\n"
+        )
+        server = build_server(port=0, seed=0, script=str(script), transport="asyncio")
+        client = connect_bridged(*server.address)
+        yield CommandLine(client)
+        client.close()
+        server.stop()
+
+    def test_plain_sql_round_trips(self, async_shell):
+        output = async_shell.run_line("SELECT fno FROM Flights WHERE dest = 'Rome'")
+        assert "136" in output and "(1 row)" in output
+
+    def test_entangled_pair_answers_through_the_shell(self, async_shell):
+        async_shell.service.declare_answer_relation(
+            "Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"]
+        )
+        assert "PENDING" in async_shell.run_line(KRAMER_SQL)
+        assert "ANSWERED" in async_shell.run_line(JERRY_SQL)
+        answers = async_shell.run_line(".answers Reservation")
+        assert "Kramer" in answers and "Jerry" in answers
+
+    def test_stats_include_transport_counters(self, async_shell):
+        stats = async_shell.service.stats()
+        assert dict(stats.transport)["connections_open"] == 1
+
+
 class TestArgumentParsing:
     def test_serve_and_connect_subcommands(self):
         from repro.apps.cli import build_parser
@@ -206,7 +244,12 @@ class TestArgumentParsing:
         parser = build_parser()
         serve = parser.parse_args(["serve", "--port", "0", "--seed", "7"])
         assert (serve.command, serve.port, serve.seed) == ("serve", 0, 7)
+        assert serve.transport == "threaded"
+        asyncio_serve = parser.parse_args(["serve", "--transport", "asyncio"])
+        assert asyncio_serve.transport == "asyncio"
         connect = parser.parse_args(["connect", "--host", "example.org", "--port", "7399"])
         assert (connect.command, connect.host, connect.port) == ("connect", "example.org", 7399)
+        assert connect.use_async is False
+        assert parser.parse_args(["connect", "--async"]).use_async is True
         bare = parser.parse_args([])
         assert bare.command is None
