@@ -9,8 +9,12 @@ pairs over one Flights table):
   frames plus one push notification.
 * **batched throughput** — the whole workload through one ``submit_many``.
   The batch crosses the wire as a *single* request frame, so the transport
-  cost amortises over 200 queries and throughput must stay **within 5× of
+  cost amortises over 200 queries and throughput must stay **within 2× of
   in-process** (the acceptance gate below; matching work dominates both).
+  The gate was originally declared at 5×, but the measured slowdown has sat
+  around 1.05× since the batch path landed — the assertion is calibrated to
+  2× so a real regression (say, a per-item frame creeping back in) trips it,
+  and the JSON artifact records the original target for the trajectory.
 
 Set ``BENCH_REMOTE_JSON=/path/out.json`` to dump the raw numbers (the CI
 remote-conformance job uploads this as an artifact).
@@ -100,7 +104,7 @@ def _dump_json(payload: dict) -> None:
             json.dump(payload, handle, indent=2, sort_keys=True)
 
 
-def test_batched_submit_many_remote_within_5x_of_inprocess(report):
+def test_batched_submit_many_remote_within_2x_of_inprocess(report):
     """The acceptance experiment: one frame per batch keeps remote ~par."""
     inprocess = fresh_inprocess()
     inprocess_elapsed, inprocess_answered = timed_batch(
@@ -144,10 +148,17 @@ def test_batched_submit_many_remote_within_5x_of_inprocess(report):
             "inprocess_qps": throughput_inprocess,
             "remote_qps": throughput_remote,
             "frames_for_batch": frames_used,
+            "gate_slowdown": 2.0,
+            "gate_note": (
+                "originally gated at 5x; measured ~1.05x since the single-frame "
+                "batch path landed, so the gate is recalibrated to 2x"
+            ),
         }
     )
-    # the acceptance gate: batched remote throughput within 5x of in-process
-    assert slowdown <= 5.0, f"remote batch {slowdown:.2f}x slower than in-process"
+    # the acceptance gate: batched remote throughput within 2x of in-process
+    # (recalibrated from the original 5x target, which the measured ~1.05x
+    # slowdown made vacuous — see the module docstring)
+    assert slowdown <= 2.0, f"remote batch {slowdown:.2f}x slower than in-process"
 
 
 def test_single_pair_roundtrip_latency(report):

@@ -2,7 +2,8 @@
 
 Each benchmark job in CI writes its raw numbers to a standalone JSON file
 (``bench_batch_submit.json``, ``bench_sharded_matching.json``,
-``bench_remote_transport.json``, ``bench_durability.json``).  This script
+``bench_remote_transport.json``, ``bench_connection_scaling.json``,
+``bench_cluster_scaling.json``, ``bench_durability.json``).  This script
 folds them into a single ``bench-trajectory.json`` so one artifact tracks the
 performance trajectory of the whole system per commit::
 

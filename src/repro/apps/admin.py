@@ -166,6 +166,61 @@ class AdminInterface:
             ]
         )
 
+    def cluster_stats(self) -> dict:
+        """The cluster block of :meth:`ServiceStats` (empty for single-node)."""
+        return dict(self.service.stats().cluster)
+
+    def cluster_text(self) -> str:
+        stats = self.cluster_stats()
+        if not stats:
+            return "(no cluster: single-node deployment)"
+        role = stats.get("role", "node")
+        lines = [f"role = {role}"]
+        if role == "router":
+            lines.append(
+                f"topology: nodes={stats.get('node_count')} "
+                f"shards={stats.get('shard_count')} "
+                f"residence_node={stats.get('residence_node')}"
+            )
+            lines.append(
+                f"submits: routed={stats.get('routed_submits')} "
+                f"cross_node={stats.get('cross_node_submits')} "
+                f"relocations={stats.get('relocations')} "
+                f"duplicates_rejected={stats.get('duplicate_rejections')} "
+                f"failovers={stats.get('failovers')}"
+            )
+            hot = stats.get("hot_relations") or []
+            lines.append(f"hot relations: {', '.join(hot) if hot else '(none)'}")
+            for node in stats.get("nodes", []):
+                if not node.get("reachable", True):
+                    lines.append(
+                        f"node {node.get('index')} @ {node.get('address')}: UNREACHABLE"
+                    )
+                    continue
+                line = (
+                    f"node {node.get('index')} @ {node.get('address')}: "
+                    f"shards={node.get('shards')} "
+                    f"pending={node.get('pending')} "
+                    f"routed_pending={node.get('routed_pending')} "
+                    f"wal_last_lsn={node.get('wal_last_lsn')}"
+                )
+                standby = node.get("standby")
+                if standby:
+                    if standby.get("reachable", True):
+                        line += (
+                            f" standby@{standby.get('address')} "
+                            f"lag={standby.get('lag_lsns')} lsns"
+                        )
+                    else:
+                        line += f" standby@{standby.get('address')} UNREACHABLE"
+                lines.append(line)
+        else:
+            for key, value in sorted(stats.items()):
+                if key == "role":
+                    continue
+                lines.append(f"{key} = {value}")
+        return "\n".join(lines)
+
     def durability_stats(self) -> dict:
         """The durability subsystem's counters (``{"enabled": False}`` when off)."""
         return dict(self.service.stats().durability)
@@ -237,6 +292,8 @@ class AdminInterface:
         sections.append(self.shard_text())
         sections.append("\n-- transport --")
         sections.append(self.transport_text())
+        sections.append("\n-- cluster --")
+        sections.append(self.cluster_text())
         sections.append("\n-- durability --")
         sections.append(self.durability_text())
         sections.append("\n-- coordination statistics --")

@@ -18,7 +18,11 @@ Sub-commands of :func:`main`:
 
 * ``youtopia-cli`` — interactive shell on a fresh in-process system;
 * ``youtopia-cli serve [--host] [--port] [--seed] [--script file.sql]`` —
-  host a :class:`~repro.service.remote.CoordinationServer`;
+  host a :class:`~repro.service.remote.CoordinationServer` (with
+  ``--cluster-node I/N`` to serve as a cluster member, or ``--standby-of
+  HOST:PORT`` to serve as a WAL-shipped read-only standby);
+* ``youtopia-cli router --node HOST:PORT [--node ...]`` — run the
+  shard-routing cluster gateway (:class:`repro.cluster.ClusterRouter`);
 * ``youtopia-cli connect [--host] [--port]`` — shell against a remote server.
 """
 
@@ -276,6 +280,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=1000,
         help="WAL records between automatic snapshots; 0 disables (needs --data-dir)",
     )
+    serve.add_argument(
+        "--cluster-node",
+        default=None,
+        metavar="I/N",
+        help="serve as member I of an N-node cluster (0-based; purely "
+        "observability — routing is the router's job, but stats and the "
+        "admin screen then report the node's role)",
+    )
+    serve.add_argument(
+        "--standby-of",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve as a WAL-shipped standby of the primary at HOST:PORT: "
+        "read-only until promoted, state replayed live from the primary's "
+        "log (incompatible with --data-dir and --script)",
+    )
+
+    router = commands.add_parser(
+        "router", help="run a shard-routing gateway in front of cluster nodes"
+    )
+    router.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    router.add_argument("--port", type=int, default=7399, help="port to bind (0 = ephemeral)")
+    router.add_argument(
+        "--node",
+        dest="nodes",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        required=True,
+        help="a member node's address; repeat once per node — order defines "
+        "the placement indices (node 0 is the residence node)",
+    )
+    router.add_argument(
+        "--standby",
+        dest="standbys",
+        action="append",
+        default=None,
+        metavar="IDX=HOST:PORT",
+        help="a standby serving node IDX's shipped WAL; the router promotes "
+        "it automatically when the node fails (repeatable)",
+    )
+    router.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="relation shard count (default: the node count; must be a "
+        "multiple of it so shard and node routing agree)",
+    )
 
     connect = commands.add_parser("connect", help="open a shell against a remote server")
     connect.add_argument("--host", default="127.0.0.1", help="server host")
@@ -299,8 +351,16 @@ def build_server(
     fsync_policy: str = "batch",
     snapshot_interval: int = 1000,
     transport: str = "threaded",
+    cluster_node: Optional[str] = None,
+    standby_of: Optional[str] = None,
 ) -> Union[CoordinationServer, BackgroundAsyncServer]:
     """Assemble (and start) the server the ``serve`` sub-command runs.
+
+    ``cluster_node`` (``"I/N"``) tags the served system as member ``I`` of an
+    ``N``-node cluster in its stats/admin output.  ``standby_of``
+    (``"HOST:PORT"``) turns the server into a WAL-shipped read-only standby of
+    that primary instead (see :class:`repro.cluster.StandbyServer`); the call
+    returns once the bootstrap snapshot is applied.
 
     ``transport`` selects the request plane: ``"threaded"`` (the classic
     thread-per-connection :class:`~repro.service.remote.CoordinationServer`)
@@ -326,6 +386,26 @@ def build_server(
       notice (wiping real acknowledged state to apply a bootstrap would be
       data loss).
     """
+    if standby_of is not None:
+        if data_dir is not None:
+            raise ValueError(
+                "--standby-of and --data-dir are mutually exclusive: a standby's "
+                "state is the primary's shipped WAL, not its own log"
+            )
+        if script:
+            raise ValueError(
+                "--standby-of and --script are mutually exclusive: a standby is "
+                "read-only until promoted"
+            )
+        from repro.cluster import StandbyServer
+
+        primary_host, _, primary_port = standby_of.rpartition(":")
+        if not primary_host or not primary_port.isdigit():
+            raise ValueError(f"--standby-of expects HOST:PORT, got {standby_of!r}")
+        standby = StandbyServer(primary_host, int(primary_port), host=host, port=port)
+        standby.start()
+        standby.wait_caught_up(30.0)
+        return standby
     config = SystemConfig(
         seed=seed,
         data_dir=data_dir,
@@ -333,6 +413,15 @@ def build_server(
         snapshot_interval=snapshot_interval,
     )
     service = InProcessService(config=config)
+    if cluster_node is not None:
+        index_text, _, count_text = cluster_node.partition("/")
+        if not index_text.isdigit() or not count_text.isdigit():
+            raise ValueError(f"--cluster-node expects I/N, got {cluster_node!r}")
+        service.cluster_info = {
+            "role": "node",
+            "node": int(index_text),
+            "node_count": int(count_text),
+        }
     if script:
         service = _bootstrap(service, config, script, data_dir)
     server: Union[CoordinationServer, BackgroundAsyncServer]
@@ -344,6 +433,37 @@ def build_server(
         server = CoordinationServer(service=service, host=host, port=port, close_service=True)
     server.start()
     return server
+
+
+def build_router(
+    host: str,
+    port: int,
+    nodes: list[str],
+    standbys: Optional[list[str]] = None,
+    shards: Optional[int] = None,
+):
+    """Assemble (and start) the gateway the ``router`` sub-command runs."""
+    from repro.cluster import BackgroundClusterRouter, NodeSpec, PlacementMap
+
+    standby_map: dict[int, str] = {}
+    for spec in standbys or ():
+        index_text, separator, address = spec.partition("=")
+        if not separator or not index_text.isdigit():
+            raise ValueError(f"--standby expects IDX=HOST:PORT, got {spec!r}")
+        standby_map[int(index_text)] = address
+    unknown = set(standby_map) - set(range(len(nodes)))
+    if unknown:
+        raise ValueError(f"--standby names node indices that do not exist: {sorted(unknown)}")
+    placement = PlacementMap(
+        [
+            NodeSpec.parse(index, address, standby_map.get(index))
+            for index, address in enumerate(nodes)
+        ],
+        shard_count=shards,
+    )
+    router = BackgroundClusterRouter(placement, host=host, port=port)
+    router.start()
+    return router
 
 
 def _bootstrap(
@@ -415,7 +535,10 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
             fsync_policy=args.fsync_policy,
             snapshot_interval=args.snapshot_interval,
             transport=args.transport,
+            cluster_node=args.cluster_node,
+            standby_of=args.standby_of,
         )
+        transport_label = "standby" if args.standby_of else args.transport
         system = server.service.system
         if system.recovered and system.recovery is not None:
             summary = system.recovery
@@ -428,7 +551,7 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
             )
         host, port = server.address
         print(
-            f"youtopia coordination server ({args.transport}) listening on {host}:{port}",
+            f"youtopia coordination server ({transport_label}) listening on {host}:{port}",
             flush=True,
         )
         try:
@@ -437,6 +560,22 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
             print("shutting down")
         finally:
             server.stop()
+        return 0
+    if args.command == "router":
+        router = build_router(
+            args.host, args.port, args.nodes, args.standbys, shards=args.shards
+        )
+        host, port = router.address
+        print(
+            f"youtopia coordination server (cluster-router) listening on {host}:{port}",
+            flush=True,
+        )
+        try:
+            router.wait_stopped()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            router.stop()
         return 0
     if args.command == "connect":
         service: Union[RemoteService, BridgedService]

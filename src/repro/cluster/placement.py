@@ -1,0 +1,156 @@
+"""The static placement map: which member node owns which relation shard.
+
+Placement is pure arithmetic — no catalog, no gossip: a relation's node is
+:func:`repro.core.sharding.node_for_relation` (CRC32 of the lower-cased name,
+modulo the node count), so every router, node and test computes the same
+assignment independently.  Deriving node placement from the *same* hash as
+in-process shard placement keeps the two routing layers consistent: queries
+that share a matching universe inside one process also share a node across
+the cluster.
+
+The router needs a query's relation signature *before* any node sees the
+query.  Fully compiling entangled SQL at the gateway would put the whole
+compiler on the hot path of every routed submission, so
+:func:`extract_signature` reads the signature straight off the SQL text
+(every entangled relation is introduced by the keyword ``ANSWER``), falling
+back to the real compiler only when the scan finds nothing.  A conformance
+test asserts the scan agrees with :func:`~repro.core.sharding.relation_signature`
+of the compiled query across the test corpus.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.core.sharding import (
+    node_for_relation,
+    relation_signature,
+    route_signature_to_node,
+)
+
+#: SQL string literals (with '' escapes) — stripped before the keyword scan so
+#: a literal like 'IN ANSWER Hotel' cannot forge a routing relation.
+_STRING_LITERAL = re.compile(r"'(?:[^']|'')*'")
+
+#: Every entangled relation reference: INTO ANSWER R (a head) or IN ANSWER R
+#: (an answer constraint).  Matching bare ``ANSWER <ident>`` covers both.
+_ANSWER_RELATION = re.compile(r"\bANSWER\s+([A-Za-z_][A-Za-z0-9_]*)", re.IGNORECASE)
+
+
+def extract_signature(sql: str) -> frozenset[str]:
+    """The relation signature of entangled SQL, without compiling it.
+
+    Returns the lower-cased set of relations named by ``ANSWER <relation>``
+    clauses.  When the scan finds none (programmatic SQL shapes the regex
+    does not anticipate), the real compiler decides; SQL the compiler rejects
+    too routes as an empty signature — the target node re-compiles and raises
+    the authoritative typed error.
+    """
+    found = _ANSWER_RELATION.findall(_STRING_LITERAL.sub("''", sql))
+    if found:
+        return frozenset(name.lower() for name in found)
+    try:
+        from repro.core.compiler import compile_entangled
+
+        return relation_signature(compile_entangled(sql))
+    except Exception:  # noqa: BLE001 - the node owns the authoritative error
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One cluster member: its placement index, address, optional standby."""
+
+    index: int
+    host: str
+    port: int
+    standby: Optional[tuple[str, int]] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(
+        cls, index: int, spec: str, standby: Optional[str] = None
+    ) -> "NodeSpec":
+        """``"host:port"`` → :class:`NodeSpec` (the CLI's address syntax)."""
+        host, _, port = spec.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"node address must be HOST:PORT, got {spec!r}")
+        standby_address: Optional[tuple[str, int]] = None
+        if standby:
+            standby_host, _, standby_port = standby.rpartition(":")
+            if not standby_host or not standby_port.isdigit():
+                raise ValueError(f"standby address must be HOST:PORT, got {standby!r}")
+            standby_address = (standby_host, int(standby_port))
+        return cls(index=index, host=host, port=int(port), standby=standby_address)
+
+
+class PlacementMap:
+    """Signature→node routing over a fixed member list.
+
+    ``shard_count`` defaults to the node count, making node routing the
+    coarsest consistent view of shard routing; a larger multiple of the node
+    count keeps finer shards while still agreeing on node boundaries.  Node 0
+    doubles as the **residence node**: cross-node signatures (and anything
+    entangled with them) are co-located there, the cluster analogue of the
+    sharded coordinator's global residence.
+    """
+
+    def __init__(self, nodes: Sequence[NodeSpec], shard_count: Optional[int] = None) -> None:
+        if not nodes:
+            raise ValueError("a placement map needs at least one node")
+        self.nodes: tuple[NodeSpec, ...] = tuple(nodes)
+        indices = [node.index for node in self.nodes]
+        if indices != list(range(len(self.nodes))):
+            raise ValueError(f"node indices must be 0..{len(self.nodes) - 1}, got {indices}")
+        self.shard_count = shard_count or len(self.nodes)
+        if self.shard_count % len(self.nodes) != 0:
+            raise ValueError(
+                f"shard_count ({self.shard_count}) must be a multiple of the "
+                f"node count ({len(self.nodes)}) so shard and node routing agree"
+            )
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    #: Cross-node (and hot-relation-entangled) queries are co-located here.
+    residence_node = 0
+
+    def node_for_relation(self, relation: str) -> int:
+        return node_for_relation(relation, self.node_count, self.shard_count)
+
+    def node_for_signature(self, signature: frozenset[str]) -> Optional[int]:
+        """The single owning node, or ``None`` for a cross-node signature."""
+        return route_signature_to_node(signature, self.node_count, self.shard_count)
+
+    def shards_of(self, node_index: int) -> tuple[int, ...]:
+        """The relation shards a node owns (for observability/docs)."""
+        return tuple(
+            shard for shard in range(self.shard_count)
+            if shard % self.node_count == node_index
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-safe summary (the ``cluster`` stats block's ``placement``)."""
+        return {
+            "node_count": self.node_count,
+            "shard_count": self.shard_count,
+            "residence_node": self.residence_node,
+            "nodes": [
+                {
+                    "index": node.index,
+                    "address": node.address,
+                    "shards": list(self.shards_of(node.index)),
+                    "standby": None if node.standby is None else f"{node.standby[0]}:{node.standby[1]}",
+                }
+                for node in self.nodes
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlacementMap(nodes={self.node_count}, shards={self.shard_count})"

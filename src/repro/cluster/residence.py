@@ -1,0 +1,143 @@
+"""Router-side query registry and the cross-node residence rule.
+
+The in-process sharded coordinator sends cross-shard queries to a *global
+residence* so entangled partners always share one matching universe.  The
+cluster needs the same invariant at node granularity: two queries that can
+coordinate with each other must live on the same node, because nodes never
+gossip pending pools.
+
+The rule the router enforces, mirroring ``ShardedCoordinator``:
+
+* a query whose signature maps to a single node goes to that **home node**;
+* a query whose signature spans nodes goes to the **residence node** (node 0),
+  and every relation it names becomes **hot**;
+* any later (or still-pending earlier) query touching a hot relation is also
+  placed on the residence node — earlier ones are *relocated* there (cancel on
+  the home node, resubmit on residence) so the partners can meet.
+
+All registry state is mutated only on the router's event loop, so the class
+needs no locking of its own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+#: RoutedQuery lifecycle: submitting → pending → (relocating → pending)* → done
+SUBMITTING = "submitting"
+PENDING = "pending"
+RELOCATING = "relocating"
+DONE = "done"
+
+
+@dataclass
+class RoutedQuery:
+    """One query the router has accepted, wherever it currently lives."""
+
+    query_id: str
+    sql: str
+    owner: str
+    signature: frozenset[str]
+    node: int
+    status: str = SUBMITTING
+    #: resolves once the owning node has acked the (re)submission
+    submitted: asyncio.Future = field(default_factory=asyncio.Future)
+    #: resolves with the terminal wire-state dict (answered/cancelled/rejected)
+    done_future: asyncio.Future = field(default_factory=asyncio.Future)
+    final_state: Optional[dict[str, Any]] = None
+    registered_at: float = 0.0
+    #: set while the query is pinned to residence by the hot-relation rule
+    resident: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.status == DONE
+
+
+class QueryRegistry:
+    """Every live and terminal query the router knows, plus the hot set.
+
+    ``hot_relations`` is the union of the signatures of all *non-terminal*
+    queries currently placed on the residence node by the cross-node rule
+    (``resident=True``).  It is recomputed from scratch on every change —
+    registries hold at most the live working set, and correctness beats a
+    clever incremental count here.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RoutedQuery] = {}
+        self.hot_relations: frozenset[str] = frozenset()
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, query_id: str) -> Optional[RoutedQuery]:
+        return self._entries.get(query_id)
+
+    def entries(self) -> list[RoutedQuery]:
+        return list(self._entries.values())
+
+    def live_entries(self) -> list[RoutedQuery]:
+        return [entry for entry in self._entries.values() if not entry.terminal]
+
+    def add(self, entry: RoutedQuery) -> None:
+        if entry.query_id in self._entries:
+            raise ValueError(f"query {entry.query_id!r} already registered")
+        self._entries[entry.query_id] = entry
+        if entry.resident:
+            self._recompute_hot()
+
+    def settle(self, query_id: str, state: dict[str, Any]) -> Optional[RoutedQuery]:
+        """Record a terminal wire state; returns the entry if it transitioned."""
+        entry = self._entries.get(query_id)
+        if entry is None or entry.terminal:
+            return None
+        entry.status = DONE
+        entry.final_state = state
+        if not entry.done_future.done():
+            entry.done_future.set_result(state)
+        if entry.resident:
+            self._recompute_hot()
+        return entry
+
+    def mark_resident(self, entry: RoutedQuery) -> None:
+        if not entry.resident:
+            entry.resident = True
+            self._recompute_hot()
+
+    def relocation_victims(self, hot: Iterable[str], residence_node: int) -> list[RoutedQuery]:
+        """Live queries stranded off the residence node that touch hot relations."""
+        hot_set = set(hot)
+        return [
+            entry
+            for entry in self._entries.values()
+            if not entry.terminal
+            and entry.node != residence_node
+            and entry.signature & hot_set
+        ]
+
+    def pending_on_node(self, node: int) -> list[RoutedQuery]:
+        return [
+            entry
+            for entry in self._entries.values()
+            if not entry.terminal and entry.node == node
+        ]
+
+    def counts_by_node(self, node_count: int) -> list[int]:
+        counts = [0] * node_count
+        for entry in self._entries.values():
+            if not entry.terminal and 0 <= entry.node < node_count:
+                counts[entry.node] += 1
+        return counts
+
+    def _recompute_hot(self) -> None:
+        hot: set[str] = set()
+        for entry in self._entries.values():
+            if entry.resident and not entry.terminal:
+                hot |= entry.signature
+        self.hot_relations = frozenset(hot)

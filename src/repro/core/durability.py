@@ -170,6 +170,12 @@ class WriteAheadLog:
         self.path = Path(path)
         self.fsync_policy = fsync_policy
         self._lock = threading.RLock()
+        # Log-shipping subscribers: called with each appended record *inside*
+        # append(), after the record is durable per policy and before the
+        # caller is acknowledged (ship-before-ack: an acked record has been
+        # handed to every live subscriber).  A subscriber returning False is
+        # dropped — the standby disconnected.
+        self._subscribers: list[Callable[[dict[str, Any]], bool]] = []
         # Unbuffered: every write() goes straight to the OS, so tell() is a
         # true record boundary and a failed append can be rolled back without
         # fighting a stdio buffer.
@@ -202,6 +208,44 @@ class WriteAheadLog:
         with self._lock:
             self._next_lsn = max(self._next_lsn, next_lsn)
 
+    # -- log shipping -----------------------------------------------------------------
+
+    def add_subscriber(self, subscriber: Callable[[dict[str, Any]], bool]) -> None:
+        """Stream every future record to ``subscriber`` (under the WAL lock).
+
+        The subscriber runs synchronously inside :meth:`append` — replication
+        is *synchronous*: a record is shipped before the appending caller is
+        acknowledged, so an acked transition is either on the standby's socket
+        or the standby is already gone.  Return ``False`` to unsubscribe.
+        """
+        with self._lock:
+            self._subscribers.append(subscriber)
+
+    def remove_subscriber(self, subscriber: Callable[[dict[str, Any]], bool]) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    def _ship_locked(self, record: dict[str, Any]) -> None:
+        if not self._subscribers:
+            return
+        kept = []
+        for subscriber in self._subscribers:
+            try:
+                alive = subscriber(record)
+            except Exception:  # noqa: BLE001 - a dead standby must not fail appends
+                alive = False
+            if alive:
+                kept.append(subscriber)
+        self._subscribers = kept
+
     # -- appending ---------------------------------------------------------------------
 
     def append(self, record_type: str, data: dict[str, Any]) -> int:
@@ -209,9 +253,8 @@ class WriteAheadLog:
         with self._lock:
             codec = _codec()
             lsn = self._next_lsn
-            frame = codec.encode_frame(
-                {"v": WAL_VERSION, "lsn": lsn, "type": record_type, "data": data}
-            )
+            record = {"v": WAL_VERSION, "lsn": lsn, "type": record_type, "data": data}
+            frame = codec.encode_frame(record)
             offset = self._file.tell()
             try:
                 written = self._file.write(frame)
@@ -239,6 +282,7 @@ class WriteAheadLog:
                 # inside this thread's group-commit scope: defer to scope end
             else:  # "never": hand the bytes to the OS, let it schedule the write
                 self._file.flush()
+            self._ship_locked(record)
             return lsn
 
     @contextmanager
@@ -738,90 +782,34 @@ class DurabilityManager:
         return report
 
     def _apply_record(self, system: "YoutopiaSystem", record: dict[str, Any]) -> None:
-        record_type = record.get("type")
-        data = record.get("data") or {}
-        coordinator = system.coordinator
-        if record_type == "submit":
-            coordinator.recover_request(
-                {
-                    "query_id": data["query_id"],
-                    "owner": data.get("owner"),
-                    "status": "pending",
-                    "sql": data.get("sql"),
-                    "registered_at": data.get("registered_at"),
-                }
-            )
-        elif record_type == "commit":
-            coordinator.apply_recovered_commit(
-                tuple(data.get("group") or ()),
-                decode_answers(data.get("answers") or ()),
-                float(data.get("answered_at") or 0.0),
-            )
-        elif record_type == "cancel":
-            coordinator.apply_recovered_cancel(str(data["query_id"]))
-        elif record_type == "data":
-            from repro.sqlparser import parse_statement
-
-            system.engine.execute(parse_statement(str(data["sql"])))
-        elif record_type == "declare":
-            system.answer_relations.declare(
-                str(data["name"]),
-                columns=data.get("columns"),
-                types=data.get("types"),
-                arity=data.get("arity"),
-            )
-        else:
-            raise StorageError(f"unknown WAL record type {record_type!r}")
+        apply_wal_record(system, record)
 
     def _apply_snapshot(
         self, system: "YoutopiaSystem", state: dict[str, Any], report: RecoveryReport
     ) -> None:
-        from repro.core.coordinator import PENDING_TABLE
-        from repro.storage.schema import Column, ColumnType, TableSchema
+        apply_snapshot_state(system, state, report)
 
-        database = system.database
-        for table_state in state.get("tables") or ():
-            name = str(table_state["name"])
-            if name.lower() == PENDING_TABLE:
-                continue  # rebuilt from the recovered requests below
-            columns = tuple(
-                Column(
-                    str(column["name"]),
-                    ColumnType.from_name(str(column["type"])),
-                    bool(column.get("nullable", True)),
-                )
-                for column in table_state.get("columns") or ()
-            )
-            schema = TableSchema(name, columns, tuple(table_state.get("primary_key") or ()))
-            if not database.has_table(name):
-                database.create_table(schema)
-            table = database.table(name)
-            rows = table_state.get("rows") or ()
-            if rows:
-                table.insert_many(tuple(row) for row in rows)
-            for index_state in table_state.get("indexes") or ():
-                if index_state["name"] not in table.indexes():
-                    table.create_index(
-                        str(index_state["name"]),
-                        tuple(index_state.get("columns") or ()),
-                        unique=bool(index_state.get("unique", False)),
-                    )
-        for relation in state.get("answer_relations") or ():
-            name = str(relation)
-            if database.has_table(name):
-                system.answer_relations.declare(
-                    name, columns=database.schema(name).column_names
-                )
-        for request_state in state.get("requests") or ():
-            try:
-                system.coordinator.recover_request(request_state)
-            except Exception as exc:  # noqa: BLE001 - keep recovering the rest
-                report.replay_errors.append(
-                    f"snapshot request {request_state.get('query_id')!r}: {exc}"
-                )
-        counters = state.get("counters")
-        if counters:
-            system.coordinator.statistics.load({k: int(v) for k, v in counters.items()})
+    def subscribe_with_snapshot(
+        self,
+        system: "YoutopiaSystem",
+        subscriber: Callable[[dict[str, Any]], bool],
+    ) -> dict[str, Any]:
+        """Atomically capture the recoverable state and attach a log subscriber.
+
+        The standby-bootstrap primitive: the checkpoint scope plus every
+        coordinator lock block *all* append paths (coordinator records append
+        under coordinator locks; ``data``/``declare`` append under the
+        checkpoint lock), so the returned state and the subscription are a
+        consistent cut — no record falls between the snapshot and the stream.
+        The state carries ``last_lsn``; the subscriber sees every record with
+        a higher LSN exactly when it is appended (ship-before-ack).
+        """
+        with self.checkpoint_scope():
+            with system.coordinator._checkpoint_locks():
+                state = system.coordinator._capture_state_locked()
+                state["last_lsn"] = self.wal.last_lsn
+                self.wal.add_subscriber(subscriber)
+        return state
 
     # -- introspection / lifecycle -----------------------------------------------------
 
@@ -857,6 +845,7 @@ class DurabilityManager:
             "wal_last_lsn": self.wal.last_lsn,
             "wal_fsyncs": self.wal.fsync_count,
             "wal_group_commits": self.wal.group_commits,
+            "wal_subscribers": self.wal.subscriber_count,
             "snapshots_taken": self.snapshots_taken,
             "checkpoint_failures": self.checkpoint_failures,
             "last_checkpoint_error": self.last_checkpoint_error,
@@ -872,3 +861,108 @@ class DurabilityManager:
         self._closed = True
         self.wal.close()
         self._lock_file.close()  # releases the advisory flock
+
+
+# ---------------------------------------------------------------------------
+# Replay primitives (shared by recovery and WAL-shipping followers)
+# ---------------------------------------------------------------------------
+
+
+def apply_wal_record(system: "YoutopiaSystem", record: dict[str, Any]) -> None:
+    """Apply one WAL record to a system (idempotence is the caller's LSN guard).
+
+    Used by :meth:`DurabilityManager.replay` during crash recovery and by a
+    WAL-shipping standby (:mod:`repro.cluster.standby`) applying the primary's
+    streamed records — one replay semantics for both.
+    """
+    record_type = record.get("type")
+    data = record.get("data") or {}
+    coordinator = system.coordinator
+    if record_type == "submit":
+        coordinator.recover_request(
+            {
+                "query_id": data["query_id"],
+                "owner": data.get("owner"),
+                "status": "pending",
+                "sql": data.get("sql"),
+                "registered_at": data.get("registered_at"),
+            }
+        )
+    elif record_type == "commit":
+        coordinator.apply_recovered_commit(
+            tuple(data.get("group") or ()),
+            decode_answers(data.get("answers") or ()),
+            float(data.get("answered_at") or 0.0),
+        )
+    elif record_type == "cancel":
+        coordinator.apply_recovered_cancel(str(data["query_id"]))
+    elif record_type == "data":
+        from repro.sqlparser import parse_statement
+
+        system.engine.execute(parse_statement(str(data["sql"])))
+    elif record_type == "declare":
+        system.answer_relations.declare(
+            str(data["name"]),
+            columns=data.get("columns"),
+            types=data.get("types"),
+            arity=data.get("arity"),
+        )
+    else:
+        raise StorageError(f"unknown WAL record type {record_type!r}")
+
+
+def apply_snapshot_state(
+    system: "YoutopiaSystem", state: dict[str, Any], report: RecoveryReport
+) -> None:
+    """Rebuild tables, answer relations, requests and counters from a snapshot.
+
+    The snapshot twin of :func:`apply_wal_record`, likewise shared between
+    crash recovery and standby bootstrap (the primary hands a joining standby
+    this exact state shape via ``subscribe_with_snapshot``).
+    """
+    from repro.core.coordinator import PENDING_TABLE
+    from repro.storage.schema import Column, ColumnType, TableSchema
+
+    database = system.database
+    for table_state in state.get("tables") or ():
+        name = str(table_state["name"])
+        if name.lower() == PENDING_TABLE:
+            continue  # rebuilt from the recovered requests below
+        columns = tuple(
+            Column(
+                str(column["name"]),
+                ColumnType.from_name(str(column["type"])),
+                bool(column.get("nullable", True)),
+            )
+            for column in table_state.get("columns") or ()
+        )
+        schema = TableSchema(name, columns, tuple(table_state.get("primary_key") or ()))
+        if not database.has_table(name):
+            database.create_table(schema)
+        table = database.table(name)
+        rows = table_state.get("rows") or ()
+        if rows:
+            table.insert_many(tuple(row) for row in rows)
+        for index_state in table_state.get("indexes") or ():
+            if index_state["name"] not in table.indexes():
+                table.create_index(
+                    str(index_state["name"]),
+                    tuple(index_state.get("columns") or ()),
+                    unique=bool(index_state.get("unique", False)),
+                )
+    for relation in state.get("answer_relations") or ():
+        name = str(relation)
+        if database.has_table(name):
+            system.answer_relations.declare(
+                name, columns=database.schema(name).column_names
+            )
+    for request_state in state.get("requests") or ():
+        try:
+            system.coordinator.recover_request(request_state)
+        except Exception as exc:  # noqa: BLE001 - keep recovering the rest
+            report.replay_errors.append(
+                f"snapshot request {request_state.get('query_id')!r}: {exc}"
+            )
+    counters = state.get("counters")
+    if counters:
+        system.coordinator.statistics.load({k: int(v) for k, v in counters.items()})

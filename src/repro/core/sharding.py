@@ -106,6 +106,39 @@ def route_signature(signature: frozenset[str], shard_count: int) -> Optional[int
     return None
 
 
+def node_for_relation(
+    relation: str, node_count: int, shard_count: Optional[int] = None
+) -> int:
+    """Stable cluster-node assignment for one relation.
+
+    Derived from :func:`shard_for_relation` so signature→node routing *agrees*
+    with signature→shard routing: with ``shard_count`` a multiple of
+    ``node_count`` (the cluster default is ``shard_count == node_count``), two
+    relations on the same shard always land on the same node — a query that is
+    single-shard inside one process is single-node across the cluster.
+    """
+    return shard_for_relation(relation, shard_count or node_count) % node_count
+
+
+def route_signature_to_node(
+    signature: frozenset[str], node_count: int, shard_count: Optional[int] = None
+) -> Optional[int]:
+    """The single cluster node owning a signature, or ``None`` for cross-node.
+
+    The node-level twin of :func:`route_signature`: an empty signature pins to
+    node 0, a signature whose relations agree on one node routes there, and a
+    signature spanning nodes returns ``None`` — the router's cross-node
+    residence pass (the cluster analogue of the in-process global residence)
+    must own it.
+    """
+    if not signature:
+        return 0
+    nodes = {node_for_relation(relation, node_count, shard_count) for relation in signature}
+    if len(nodes) == 1:
+        return nodes.pop()
+    return None
+
+
 # ---------------------------------------------------------------------------
 # Shards
 # ---------------------------------------------------------------------------

@@ -27,10 +27,15 @@ from repro.service.aio.bridge import BridgedHandle, BridgedService, connect_brid
 from repro.service.aio.client import AsyncRemoteHandle, AsyncRemoteService, connect_async
 from repro.service.aio.handles import AsyncRequestHandle
 from repro.service.aio.inprocess import AsyncInProcessService
-from repro.service.aio.server import AsyncCoordinationServer, BackgroundAsyncServer
+from repro.service.aio.server import (
+    AsyncCoordinationServer,
+    AsyncServerBase,
+    BackgroundAsyncServer,
+)
 
 __all__ = [
     "AsyncCoordinationServer",
+    "AsyncServerBase",
     "AsyncCoordinationService",
     "AsyncInProcessService",
     "AsyncIntrospectionService",

@@ -60,7 +60,7 @@ class _AsyncConnection:
 
     def __init__(
         self,
-        server: "AsyncCoordinationServer",
+        server: "AsyncServerBase",
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
@@ -147,31 +147,29 @@ class _AsyncConnection:
             pass
 
 
-class AsyncCoordinationServer:
-    """Hosts a coordination service on asyncio streams (same wire protocol).
+class AsyncServerBase:
+    """The transport half of the asyncio request plane, service-agnostic.
 
-    ``port=0`` binds an ephemeral port; :meth:`start` returns the bound
-    address.  A server that built its own service closes it on :meth:`stop`;
-    a caller-provided service is left running unless ``close_service=True``.
+    Owns the listener, the connection set, framed reading, the per-request
+    dispatch (fast-path ``_fastop_*`` inline, regular ``_op_*`` as tasks under
+    the in-flight budget) and the stop/teardown protocol.  Subclasses provide
+    the operations — :class:`AsyncCoordinationServer` serves a local
+    coordination service; the cluster gateway
+    (:class:`repro.cluster.router.ClusterRouter`) serves the same wire
+    protocol by fanning requests out to member nodes — and release their
+    resources in :meth:`_close_resources`.
     """
 
     def __init__(
         self,
-        service: Optional[InProcessService] = None,
         host: str = "127.0.0.1",
         port: int = 0,
-        config: Optional[SystemConfig] = None,
-        close_service: Optional[bool] = None,
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
     ) -> None:
-        owns_service = service is None
-        self.service = service or InProcessService(config=config)
-        self._close_service = owns_service if close_service is None else close_service
         self._host = host
         self._port = port
         self.max_in_flight = max_in_flight
         self.metrics = TransportMetrics()
-        self.aservice = AsyncInProcessService(service=self.service)
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._connections: set[_AsyncConnection] = set()
@@ -192,6 +190,7 @@ class AsyncCoordinationServer:
             return self.address
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
+        await self._open_resources()
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port, backlog=1024
         )
@@ -199,6 +198,12 @@ class AsyncCoordinationServer:
         if sockets:
             self._host, self._port = sockets[0].getsockname()[:2]
         return self.address
+
+    async def _open_resources(self) -> None:
+        """Subclass hook run on the loop before the listener binds."""
+
+    async def _close_resources(self) -> None:
+        """Subclass hook: release owned services/clients during :meth:`stop`."""
 
     async def wait_stopped(self) -> None:
         """Suspend until :meth:`stop` completed (the ``serve`` loop's anchor)."""
@@ -219,19 +224,13 @@ class AsyncCoordinationServer:
             for connection in list(self._connections):
                 await connection.close()
             self._connections.clear()
-            if self._close_service:
-                # the shutdown checkpoint can fsync: keep it off the loop
-                await self.aservice.close()
-            else:
-                # the executor is server-owned either way; a caller-provided
-                # service keeps running, but the dispatch pool must not leak
-                self.aservice.shutdown_executor()
+            await self._close_resources()
         finally:
-            # always release wait_stopped(), even when closing the service failed
+            # always release wait_stopped(), even when closing resources failed
             if self._stopped is not None:
                 self._stopped.set()
 
-    async def __aenter__(self) -> "AsyncCoordinationServer":
+    async def __aenter__(self) -> "AsyncServerBase":
         await self.start()
         return self
 
@@ -364,6 +363,39 @@ class AsyncCoordinationServer:
             # keep a strong reference: the loop holds tasks only weakly, and
             # a GC'd stop() task would strand wait_stopped() forever
             self._stop_task = self._loop.create_task(self.stop())
+
+
+class AsyncCoordinationServer(AsyncServerBase):
+    """Hosts a coordination service on asyncio streams (same wire protocol).
+
+    ``port=0`` binds an ephemeral port; :meth:`start` returns the bound
+    address.  A server that built its own service closes it on :meth:`stop`;
+    a caller-provided service is left running unless ``close_service=True``.
+    """
+
+    def __init__(
+        self,
+        service: Optional[InProcessService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[SystemConfig] = None,
+        close_service: Optional[bool] = None,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+    ) -> None:
+        super().__init__(host=host, port=port, max_in_flight=max_in_flight)
+        owns_service = service is None
+        self.service = service or InProcessService(config=config)
+        self._close_service = owns_service if close_service is None else close_service
+        self.aservice = AsyncInProcessService(service=self.service)
+
+    async def _close_resources(self) -> None:
+        if self._close_service:
+            # the shutdown checkpoint can fsync: keep it off the loop
+            await self.aservice.close()
+        else:
+            # the executor is server-owned either way; a caller-provided
+            # service keeps running, but the dispatch pool must not leak
+            self.aservice.shutdown_executor()
 
     # -- push notifications -----------------------------------------------------------------
 
@@ -550,11 +582,15 @@ class BackgroundAsyncServer:
     on :meth:`start` and joined on :meth:`stop`.
     """
 
-    def __init__(self, **kwargs: Any) -> None:
+    def __init__(self, server_factory: Any = None, **kwargs: Any) -> None:
+        # ``server_factory`` picks the inner server class (any AsyncServerBase
+        # subclass constructible from **kwargs); the default is the plain
+        # coordination server.  The cluster router rides the same runner.
+        self._server_factory = server_factory or AsyncCoordinationServer
         self._kwargs = kwargs
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
-        self.server: Optional[AsyncCoordinationServer] = None
+        self.server: Optional[AsyncServerBase] = None
         self._stopped = threading.Event()
         self._started = False
         self._torn_down = False
@@ -566,8 +602,9 @@ class BackgroundAsyncServer:
 
     @property
     def service(self) -> InProcessService:
-        assert self.server is not None, "server was never started"
-        return self.server.service
+        service = getattr(self.server, "service", None)
+        assert service is not None, "server was never started (or hosts no local service)"
+        return service
 
     @property
     def metrics(self) -> TransportMetrics:
@@ -583,7 +620,7 @@ class BackgroundAsyncServer:
             target=self._loop.run_forever, name="youtopia-aio-server", daemon=True
         )
         self._thread.start()
-        self.server = AsyncCoordinationServer(**self._kwargs)
+        self.server = self._server_factory(**self._kwargs)
         try:
             address = asyncio.run_coroutine_threadsafe(
                 self.server.start(), self._loop

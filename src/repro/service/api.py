@@ -164,7 +164,11 @@ class ServiceStats:
     server (open connections, in-flight requests, bytes in/out,
     backpressure rejections — see
     :class:`~repro.service.metrics.TransportMetrics`); an in-process service
-    reports an empty mapping.
+    reports an empty mapping.  ``cluster`` describes multi-node deployments
+    (the node's role and placement, or — from a
+    :class:`~repro.cluster.router.ClusterRouter` — the member list with
+    per-node shard counts, routed vs. cross-node submit counters and standby
+    replication lag in LSNs); a single-node service reports an empty mapping.
     """
 
     counters: Mapping[str, int]
@@ -172,6 +176,7 @@ class ServiceStats:
     shards: tuple[Mapping[str, int], ...] = ()
     durability: Mapping[str, Any] = field(default_factory=lambda: {"enabled": False})
     transport: Mapping[str, int] = field(default_factory=dict)
+    cluster: Mapping[str, Any] = field(default_factory=dict)
 
     def __getitem__(self, key: str) -> int:
         return self.counters[key]

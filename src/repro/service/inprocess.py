@@ -42,6 +42,11 @@ class InProcessService:
         if system is None:
             system = YoutopiaSystem(database=database, config=config or SystemConfig())
         self.system = system
+        #: Cluster-role description folded into :meth:`stats` (``cluster``
+        #: block).  A plain mapping for a static role (a ``--cluster-node``
+        #: member's index/placement), or a zero-argument callable for live
+        #: values (a standby's applied LSN).  Empty for single-node systems.
+        self.cluster_info: Any = {}
 
     @property
     def coordinator(self) -> Coordinator:
@@ -147,11 +152,13 @@ class InProcessService:
         return self.system.answers(relation)
 
     def stats(self) -> ServiceStats:
+        cluster = self.cluster_info() if callable(self.cluster_info) else self.cluster_info
         return ServiceStats(
             counters=self.system.statistics(),
             pending=self.coordinator.pending_count(),
             shards=tuple(self.coordinator.shard_stats()),
             durability=self.system.durability_stats(),
+            cluster=dict(cluster or {}),
         )
 
     def drain(self, timeout: Optional[float] = None) -> bool:

@@ -384,6 +384,7 @@ def encode_stats(stats: Any, transport: Mapping[str, int]) -> dict[str, Any]:
         "shards": [dict(shard) for shard in stats.shards],
         "durability": dict(stats.durability),
         "transport": dict(transport),
+        "cluster": dict(getattr(stats, "cluster", None) or {}),
     }
 
 
@@ -396,6 +397,7 @@ def decode_stats(payload: Mapping[str, Any]) -> Any:
         shards=tuple(dict(shard) for shard in payload.get("shards") or ()),
         durability=dict(payload.get("durability") or {"enabled": False}),
         transport=dict(payload.get("transport") or {}),
+        cluster=dict(payload.get("cluster") or {}),
     )
 
 

@@ -31,7 +31,7 @@ from typing import Any, Optional, Sequence, Union
 
 from repro.core.compiler import compile_entangled
 from repro.core.config import SystemConfig
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ServiceUnavailableError
 from repro.service.api import RelationResult
 from repro.service.handles import RequestHandle
 from repro.service.inprocess import InProcessService
@@ -422,6 +422,35 @@ class CoordinationServer:
 
     def _op_retry_pending(self, _connection: _ClientConnection) -> int:
         return self.service.retry_pending()
+
+    # -- log shipping (consumed by repro.cluster standbys) ------------------------------------
+
+    def _op_wal_subscribe(self, connection: _ClientConnection) -> dict[str, Any]:
+        """Hand a joining standby a consistent snapshot and stream the log.
+
+        The snapshot capture and the subscription happen atomically under
+        every coordination lock (see
+        :meth:`~repro.core.durability.DurabilityManager.subscribe_with_snapshot`),
+        so no record falls in the gap.  Records appended *after* the cut may
+        reach the socket before this response does (the handler returns first,
+        then the response frame is written) — the follower buffers ``wal``
+        pushes until the response arrives and drains them through its LSN
+        guard, which makes the ordering harmless.  A push that fails to send
+        unsubscribes the connection.
+        """
+        durability = self.service.system.durability
+        if durability is None:
+            raise ServiceUnavailableError(
+                "this server has no write-ahead log to ship (start it with --data-dir)"
+            )
+
+        def ship(record: dict[str, Any]) -> bool:
+            return connection.send_encoded(
+                codec.encode_frame(codec.push_frame("wal", record))
+            )
+
+        state = durability.subscribe_with_snapshot(self.service.system, ship)
+        return {"state": state, "last_lsn": int(state.get("last_lsn", 0))}
 
     def _op_drain(
         self, _connection: _ClientConnection, timeout: Optional[float] = None

@@ -1,0 +1,286 @@
+"""The cluster router gateway: conformance plus routing-specific behaviour.
+
+Transport transparency is the bar: a client connected to a
+:class:`~repro.cluster.router.ClusterRouter` fronting a two-node cluster must
+be indistinguishable from one connected to a single server, so the same
+scenario classes from ``tests/service_conformance.py`` run here unmodified.
+On top of that the router has behaviour a single server cannot: fan-out of
+one batch across member nodes, co-location of cross-node entangled queries on
+the residence node, relocation of stranded partners, and cluster-wide
+duplicate detection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from service_conformance import (
+    SETUP,
+    BatchConformance,
+    ConcurrencyConformance,
+    IntrospectionConformance,
+    PlainQueryConformance,
+    SubmissionConformance,
+    pair_sql,
+    wait_until,
+)
+from repro.core.compiler import compile_entangled
+from repro.core.coordinator import QueryStatus
+from repro.errors import EntanglementError
+from repro.service import SystemConfig
+from repro.service.remote import CoordinationServer, RemoteService
+from repro.cluster import (
+    BackgroundClusterRouter,
+    NodeSpec,
+    PlacementMap,
+    extract_signature,
+)
+
+
+def start_cluster(node_count: int = 2):
+    """``node_count`` live servers, a router over them, and one client."""
+    nodes = []
+    for _ in range(node_count):
+        server = CoordinationServer(config=SystemConfig(seed=0))
+        server.start()
+        nodes.append(server)
+    placement = PlacementMap(
+        [NodeSpec(index, *server.address) for index, server in enumerate(nodes)]
+    )
+    router = BackgroundClusterRouter(placement)
+    router.start()
+    client = RemoteService.connect(*router.address)
+    return nodes, placement, router, client
+
+
+@pytest.fixture
+def cluster():
+    nodes, placement, router, client = start_cluster(node_count=2)
+    client.execute_script(SETUP)
+    client.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+    yield nodes, placement, router, client
+    client.close()
+    router.stop()
+    for server in nodes:
+        server.stop()
+
+
+@pytest.fixture
+def service(cluster):
+    _nodes, _placement, _router, client = cluster
+    return client
+
+
+# -- the transport-agnostic suite, cluster flavour --------------------------------------------
+
+
+class TestClusterSubmission(SubmissionConformance):
+    pass
+
+
+class TestClusterBatch(BatchConformance):
+    pass
+
+
+class TestClusterPlainQuery(PlainQueryConformance):
+    pass
+
+
+class TestClusterIntrospection(IntrospectionConformance):
+    pass
+
+
+class TestClusterConcurrency(ConcurrencyConformance):
+    pass
+
+
+# -- routing behaviour only a cluster has -----------------------------------------------------
+
+
+def relation_pair_sql(owner: str, partner: str, relation: str) -> str:
+    return (
+        f"SELECT '{owner}', fno INTO ANSWER {relation} "
+        "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+        f"AND ('{partner}', fno) IN ANSWER {relation} CHOOSE 1"
+    )
+
+
+def relations_per_node(placement: PlacementMap) -> list[str]:
+    """One relation name homed on each node, found by scanning candidates."""
+    chosen: dict[int, str] = {}
+    for index in range(200):
+        relation = f"rel{index}"
+        node = placement.node_for_relation(relation)
+        chosen.setdefault(node, relation)
+        if len(chosen) == placement.node_count:
+            break
+    assert len(chosen) == placement.node_count
+    return [chosen[node] for node in range(placement.node_count)]
+
+
+@pytest.fixture
+def three_node_cluster():
+    nodes, placement, router, client = start_cluster(node_count=3)
+    client.execute_script(SETUP)
+    relations = relations_per_node(placement)
+    for relation in relations:
+        client.declare_answer_relation(relation, ["traveler", "fno"], ["TEXT", "INTEGER"])
+    yield nodes, placement, router, client, relations
+    client.close()
+    router.stop()
+    for server in nodes:
+        server.stop()
+
+
+class TestClusterRouting:
+    def test_batch_fans_out_across_three_nodes(self, three_node_cluster):
+        nodes, placement, _router, client, relations = three_node_cluster
+        handles = client.submit_many(
+            [relation_pair_sql("a", "b", relation) for relation in relations]
+        )
+        partners = client.submit_many(
+            [relation_pair_sql("b", "a", relation) for relation in relations]
+        )
+        for handle in handles + partners:
+            handle.result(timeout=10.0)
+        # every node coordinated its own relation's pair
+        for server in nodes:
+            node_stats = server.service.stats()
+            assert node_stats["queries_registered"] == 2
+            assert node_stats["groups_matched"] == 1
+        stats = client.stats()
+        assert stats.cluster["routed_submits"] == 6
+        assert stats.cluster["cross_node_submits"] == 0
+        assert stats.cluster["relocations"] == 0
+
+    def test_router_assigns_cluster_unique_query_ids(self, three_node_cluster):
+        _nodes, _placement, _router, client, relations = three_node_cluster
+        handles = client.submit_many(
+            [relation_pair_sql("solo", "ghost", relation) for relation in relations]
+        )
+        ids = [handle.query_id for handle in handles]
+        assert len(set(ids)) == len(ids)
+        # every id resolves through the router, whichever node holds it
+        for query_id in ids:
+            assert client.request(query_id).status is QueryStatus.PENDING
+
+    def test_cross_node_pair_coordinates_on_residence_node(self, three_node_cluster):
+        nodes, placement, _router, client, relations = three_node_cluster
+        rel_a, rel_b = relations[1], relations[2]  # homed on two non-residence nodes
+        cross = (
+            f"SELECT 'left', fno INTO ANSWER {rel_a} "
+            "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+            f"AND ('right', fno) IN ANSWER {rel_b} CHOOSE 1"
+        )
+        mirror = (
+            f"SELECT 'right', fno INTO ANSWER {rel_b} "
+            "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+            f"AND ('left', fno) IN ANSWER {rel_a} CHOOSE 1"
+        )
+        assert placement.node_for_signature(extract_signature(cross)) is None
+        left = client.submit(cross, owner="left")
+        right = client.submit(mirror, owner="right")
+        left.result(timeout=10.0)
+        assert right.is_answered
+        # both lived (and matched) on the residence node, nowhere else
+        residence = nodes[placement.residence_node]
+        assert residence.service.stats()["queries_registered"] == 2
+        assert residence.service.stats()["groups_matched"] == 1
+        for server in nodes[1:]:
+            assert server.service.stats()["queries_registered"] == 0
+        stats = client.stats()
+        assert stats.cluster["cross_node_submits"] == 2
+
+    def test_hot_relation_strands_relocate_to_residence(self, three_node_cluster):
+        nodes, placement, _router, client, relations = three_node_cluster
+        off = relations[1]  # homed off the residence node
+        other = relations[2]
+        # 1. a single-relation query lands on its home node and waits there
+        stranded = client.submit(relation_pair_sql("solo", "multi", off), owner="solo")
+        assert nodes[1].service.stats()["queries_registered"] == 1
+        # 2. a cross-node query heats `off` -> the stranded query relocates
+        cross = (
+            f"SELECT 'multi', fno INTO ANSWER {other} "
+            "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+            f"AND ('solo', fno) IN ANSWER {off} CHOOSE 1"
+        )
+        client.submit(cross, owner="multi")
+        stats = client.stats()
+        assert stats.cluster["relocations"] == 1
+        assert set(stats.cluster["hot_relations"]) >= {off, other}
+        residence_pending = stats.cluster["nodes"][placement.residence_node]["pending"]
+        assert residence_pending == 2
+        # 3. the partner completing the stranded pair routes to residence too
+        #    (its relation is hot) and the pair matches there
+        partner = client.submit(relation_pair_sql("multi", "solo", off), owner="m2")
+        stranded.result(timeout=10.0)
+        assert partner.is_answered
+        assert nodes[placement.residence_node].service.stats()["groups_matched"] == 1
+
+    def test_duplicate_ids_rejected_across_nodes(self, three_node_cluster):
+        _nodes, _placement, _router, client, relations = three_node_cluster
+        # two pre-compiled queries homed on *different* nodes, same query id
+        first = compile_entangled(
+            relation_pair_sql("da", "ghost", relations[1]), owner="da"
+        )
+        second = compile_entangled(
+            relation_pair_sql("db", "ghost", relations[2]), owner="db"
+        )
+        second = dataclasses.replace(second, query_id=first.query_id)
+        client.submit(first)
+        with pytest.raises(EntanglementError, match="already registered"):
+            client.submit(second)
+        # in a batch the duplicate is rejected without aborting its siblings
+        third = compile_entangled(
+            relation_pair_sql("dc", "ghost", relations[0]), owner="dc"
+        )
+        third = dataclasses.replace(third, query_id=first.query_id)
+        fresh = compile_entangled(
+            relation_pair_sql("dd", "ghost", relations[2]), owner="dd"
+        )
+        rejected, accepted = client.submit_many([third, fresh])
+        assert rejected.status is QueryStatus.REJECTED
+        assert "already registered" in (rejected.error or "")
+        assert accepted.status is QueryStatus.PENDING
+        # the original registration is untouched
+        assert client.request(first.query_id).status is QueryStatus.PENDING
+
+    def test_cluster_stats_block_shape(self, three_node_cluster):
+        _nodes, placement, _router, client, relations = three_node_cluster
+        client.submit(relation_pair_sql("s", "ghost", relations[1]), owner="s")
+        stats = client.stats()
+        cluster = stats.cluster
+        assert cluster["role"] == "router"
+        assert cluster["node_count"] == 3
+        assert cluster["residence_node"] == placement.residence_node
+        assert len(cluster["nodes"]) == 3
+        for node in cluster["nodes"]:
+            assert node["reachable"] is True
+            assert isinstance(node["shards"], list)
+            assert "pending" in node and "wal_last_lsn" in node
+        assert cluster["registered_queries"] == 1
+        assert sum(node["routed_pending"] for node in cluster["nodes"]) == 1
+        assert cluster["failovers"] == 0
+
+    def test_cancel_routes_to_owning_node(self, three_node_cluster):
+        nodes, _placement, _router, client, relations = three_node_cluster
+        handle = client.submit(relation_pair_sql("c", "ghost", relations[2]), owner="c")
+        client.cancel(handle.query_id)
+        assert wait_until(handle.cancelled)
+        assert nodes[2].service.stats()["queries_cancelled"] == 1
+
+    def test_answers_merge_for_auto_created_relation(self, cluster):
+        """A relation auto-created at registration exists on its home node
+        only; the router's answers union must skip the nodes that never saw
+        it instead of surfacing their 'unknown answer relation' error."""
+        _nodes, _placement, _router, client = cluster
+        client.submit(relation_pair_sql("Elaine", "Puddy", "AutoRel"), owner="Elaine")
+        partner = client.submit(relation_pair_sql("Puddy", "Elaine", "AutoRel"), owner="Puddy")
+        assert partner.is_answered
+        answers = client.answers("AutoRel")
+        assert {owner for owner, _fno in answers} == {"Elaine", "Puddy"}
+        # a relation no node knows is still an error, not an empty union
+        with pytest.raises(EntanglementError, match="unknown answer relation"):
+            client.answers("NoSuchRelation")

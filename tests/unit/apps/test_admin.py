@@ -144,3 +144,55 @@ class TestStateDump:
     def test_explain_passthrough(self, admin):
         plan = admin.explain("SELECT fno FROM Flights WHERE dest = 'Paris'")
         assert "IndexLookup" in plan or "Filter" in plan
+
+
+class TestClusterSection:
+    def test_single_node_renders_placeholder(self, admin):
+        assert admin.cluster_text() == "(no cluster: single-node deployment)"
+        assert "-- cluster --" in admin.render_state()
+
+    def test_node_role_renders_key_values(self, admin):
+        admin.service.cluster_info = {"role": "node", "node": 1, "node_count": 4}
+        text = admin.cluster_text()
+        assert "role = node" in text
+        assert "node = 1" in text
+        assert "node_count = 4" in text
+
+    def test_router_role_renders_topology_and_members(self, admin):
+        admin.service.cluster_info = {
+            "role": "router",
+            "node_count": 2,
+            "shard_count": 4,
+            "residence_node": 0,
+            "routed_submits": 7,
+            "cross_node_submits": 2,
+            "relocations": 1,
+            "duplicate_rejections": 0,
+            "failovers": 1,
+            "hot_relations": ["hotel", "reservation"],
+            "nodes": [
+                {
+                    "index": 0,
+                    "address": "127.0.0.1:7401",
+                    "shards": [0, 2],
+                    "pending": 3,
+                    "routed_pending": 3,
+                    "wal_last_lsn": 41,
+                    "reachable": True,
+                    "standby": {
+                        "address": "127.0.0.1:7501",
+                        "reachable": True,
+                        "lag_lsns": 2,
+                    },
+                },
+                {"index": 1, "address": "127.0.0.1:7402", "reachable": False},
+            ],
+        }
+        text = admin.cluster_text()
+        assert "role = router" in text
+        assert "topology: nodes=2 shards=4 residence_node=0" in text
+        assert "routed=7 cross_node=2 relocations=1" in text
+        assert "hot relations: hotel, reservation" in text
+        assert "node 0 @ 127.0.0.1:7401: shards=[0, 2] pending=3" in text
+        assert "standby@127.0.0.1:7501 lag=2 lsns" in text
+        assert "node 1 @ 127.0.0.1:7402: UNREACHABLE" in text

@@ -253,3 +253,93 @@ class TestArgumentParsing:
         assert parser.parse_args(["connect", "--async"]).use_async is True
         bare = parser.parse_args([])
         assert bare.command is None
+
+    def test_router_subcommand_parses_nodes_and_standbys(self):
+        from repro.apps.cli import build_parser
+
+        parser = build_parser()
+        router = parser.parse_args(
+            [
+                "router",
+                "--port", "0",
+                "--node", "127.0.0.1:7401",
+                "--node", "127.0.0.1:7402",
+                "--standby", "0=127.0.0.1:7501",
+                "--shards", "4",
+            ]
+        )
+        assert router.command == "router"
+        assert router.nodes == ["127.0.0.1:7401", "127.0.0.1:7402"]
+        assert router.standbys == ["0=127.0.0.1:7501"]
+        assert router.shards == 4
+
+    def test_serve_cluster_flags(self):
+        from repro.apps.cli import build_parser
+
+        parser = build_parser()
+        node = parser.parse_args(["serve", "--cluster-node", "1/4"])
+        assert node.cluster_node == "1/4"
+        standby = parser.parse_args(["serve", "--standby-of", "127.0.0.1:7401"])
+        assert standby.standby_of == "127.0.0.1:7401"
+
+
+class TestClusterWiring:
+    """build_server/build_router cluster paths, end to end in-process."""
+
+    def test_cluster_node_flag_tags_stats(self):
+        from repro.apps.cli import build_server
+
+        server = build_server(port=0, seed=0, cluster_node="1/4")
+        try:
+            from repro.service.remote import RemoteService
+
+            client = RemoteService.connect(*server.address)
+            cluster = client.stats().cluster
+            assert cluster == {"role": "node", "node": 1, "node_count": 4}
+            client.close()
+        finally:
+            server.stop()
+
+    def test_cluster_node_flag_validates_shape(self):
+        from repro.apps.cli import build_server
+
+        with pytest.raises(ValueError, match="I/N"):
+            build_server(port=0, seed=0, cluster_node="nonsense")
+
+    def test_standby_rejects_data_dir_and_script(self, tmp_path):
+        from repro.apps.cli import build_server
+
+        with pytest.raises(ValueError, match="standby"):
+            build_server(
+                port=0, seed=0, standby_of="127.0.0.1:1", data_dir=str(tmp_path)
+            )
+
+    def test_build_router_over_live_nodes(self):
+        from repro.apps.cli import build_router, build_server
+
+        nodes = [build_server(port=0, seed=0) for _ in range(2)]
+        router = None
+        try:
+            router = build_router(
+                host="127.0.0.1",
+                port=0,
+                nodes=[f"{host}:{port}" for host, port in (n.address for n in nodes)],
+            )
+            from repro.service.remote import RemoteService
+
+            client = RemoteService.connect(*router.address)
+            assert client.stats().cluster["node_count"] == 2
+            client.close()
+        finally:
+            if router is not None:
+                router.stop()
+            for node in nodes:
+                node.stop()
+
+    def test_build_router_rejects_malformed_standby(self):
+        from repro.apps.cli import build_router
+
+        with pytest.raises(ValueError, match="IDX=HOST:PORT"):
+            build_router(
+                host="127.0.0.1", port=0, nodes=["127.0.0.1:1"], standbys=["x"]
+            )

@@ -1,0 +1,116 @@
+"""Unit tests for the router-side query registry and the hot-relation rule."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster import QueryRegistry, RoutedQuery
+from repro.cluster.residence import DONE, PENDING
+
+
+def _entry(
+    query_id: str,
+    node: int = 1,
+    signature: frozenset[str] = frozenset({"reservation"}),
+    resident: bool = False,
+) -> RoutedQuery:
+    return RoutedQuery(
+        query_id=query_id,
+        sql="",
+        owner="o",
+        signature=signature,
+        node=node,
+        status=PENDING,
+        resident=resident,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _event_loop():
+    # RoutedQuery futures need a loop bound at creation time.
+    loop = asyncio.new_event_loop()
+    asyncio.set_event_loop(loop)
+    yield
+    loop.close()
+    asyncio.set_event_loop(None)
+
+
+class TestQueryRegistry:
+    def test_add_and_lookup(self) -> None:
+        registry = QueryRegistry()
+        entry = _entry("r1")
+        registry.add(entry)
+        assert "r1" in registry
+        assert registry.get("r1") is entry
+        assert len(registry) == 1
+
+    def test_duplicate_add_raises(self) -> None:
+        registry = QueryRegistry()
+        registry.add(_entry("r1"))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add(_entry("r1"))
+
+    def test_settle_resolves_done_future(self) -> None:
+        registry = QueryRegistry()
+        entry = _entry("r1")
+        registry.add(entry)
+        state = {"query_id": "r1", "status": "answered"}
+        assert registry.settle("r1", state) is entry
+        assert entry.status == DONE
+        assert entry.final_state == state
+        assert entry.done_future.result() == state
+        # settling twice is a no-op
+        assert registry.settle("r1", {"status": "cancelled"}) is None
+        assert entry.final_state == state
+
+    def test_settle_unknown_id_is_noop(self) -> None:
+        assert QueryRegistry().settle("ghost", {}) is None
+
+    def test_hot_relations_track_live_residents(self) -> None:
+        registry = QueryRegistry()
+        cross = _entry("r1", node=0, signature=frozenset({"a", "b"}), resident=True)
+        registry.add(cross)
+        assert registry.hot_relations == frozenset({"a", "b"})
+        registry.settle("r1", {"status": "answered"})
+        assert registry.hot_relations == frozenset()
+
+    def test_mark_resident_heats_signature(self) -> None:
+        registry = QueryRegistry()
+        entry = _entry("r1", node=0, signature=frozenset({"hotel"}))
+        registry.add(entry)
+        assert registry.hot_relations == frozenset()
+        registry.mark_resident(entry)
+        assert registry.hot_relations == frozenset({"hotel"})
+
+    def test_relocation_victims_are_live_offresidence_hot(self) -> None:
+        registry = QueryRegistry()
+        stranded = _entry("r1", node=2, signature=frozenset({"hotel"}))
+        unrelated = _entry("r2", node=2, signature=frozenset({"cab"}))
+        already_home = _entry("r3", node=0, signature=frozenset({"hotel"}))
+        settled = _entry("r4", node=2, signature=frozenset({"hotel"}))
+        for entry in (stranded, unrelated, already_home, settled):
+            registry.add(entry)
+        registry.settle("r4", {"status": "answered"})
+        victims = registry.relocation_victims({"hotel"}, residence_node=0)
+        assert victims == [stranded]
+
+    def test_counts_by_node_skip_terminal(self) -> None:
+        registry = QueryRegistry()
+        registry.add(_entry("r1", node=0))
+        registry.add(_entry("r2", node=2))
+        registry.add(_entry("r3", node=2))
+        registry.settle("r3", {"status": "answered"})
+        assert registry.counts_by_node(3) == [1, 0, 1]
+
+    def test_live_entries_and_pending_on_node(self) -> None:
+        registry = QueryRegistry()
+        live = _entry("r1", node=1)
+        done = _entry("r2", node=1)
+        registry.add(live)
+        registry.add(done)
+        registry.settle("r2", {"status": "answered"})
+        assert registry.live_entries() == [live]
+        assert registry.pending_on_node(1) == [live]
+        assert registry.pending_on_node(0) == []
