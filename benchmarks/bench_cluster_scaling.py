@@ -172,6 +172,18 @@ def run_cluster(node_count: int) -> dict:
             placement.node_for_relation(f"booking{index}")
             for index in range(NUM_RELATIONS)
         ]
+        # Where WOULD cross-node signatures take up residence on this map?
+        # (The workload itself is single-relation by design; this publishes
+        # the per-signature residence spread the router would use.)
+        residence_nodes = sorted(
+            {
+                placement.residence_node_for(signature)
+                for first in range(NUM_RELATIONS)
+                for second in range(first + 1, NUM_RELATIONS)
+                for signature in [frozenset({f"booking{first}", f"booking{second}"})]
+                if placement.node_for_signature(signature) is None
+            }
+        )
         return {
             "node_count": node_count,
             "queries": len(requests),
@@ -184,6 +196,7 @@ def run_cluster(node_count: int) -> dict:
             ],
             "cross_node_submits": stats.cluster["cross_node_submits"],
             "relocations": stats.cluster["relocations"],
+            "residence_nodes": residence_nodes,
         }
     finally:
         if client is not None:
@@ -213,6 +226,9 @@ def test_matched_throughput_scales_from_one_to_four_nodes(report):
     assert quad["cross_node_submits"] == 0
     assert quad["relocations"] == 0
 
+    # per-signature residence spreads cross-node load over >= 2 of 4 nodes
+    assert len(quad["residence_nodes"]) >= 2
+
     scaling = quad["matched_qps"] / single["matched_qps"]
     report(
         queries=total,
@@ -220,6 +236,7 @@ def test_matched_throughput_scales_from_one_to_four_nodes(report):
         qps_4_nodes=round(quad["matched_qps"], 1),
         scaling=round(scaling, 2),
         relations_per_node=quad["relations_per_node"],
+        residence_nodes=quad["residence_nodes"],
     )
     _dump_json(
         {

@@ -180,7 +180,7 @@ class AdminInterface:
             lines.append(
                 f"topology: nodes={stats.get('node_count')} "
                 f"shards={stats.get('shard_count')} "
-                f"residence_node={stats.get('residence_node')}"
+                f"residence={stats.get('residence', 'per-signature')}"
             )
             lines.append(
                 f"submits: routed={stats.get('routed_submits')} "
@@ -189,8 +189,25 @@ class AdminInterface:
                 f"duplicates_rejected={stats.get('duplicate_rejections')} "
                 f"failovers={stats.get('failovers')}"
             )
-            hot = stats.get("hot_relations") or []
-            lines.append(f"hot relations: {', '.join(hot) if hot else '(none)'}")
+            lines.append(
+                f"recovery: recovered={stats.get('recovered_queries', 0)} "
+                f"resharded={stats.get('resharded_relocations', 0)} "
+                f"introspection_gaps={stats.get('introspection_gaps', 0)}"
+            )
+            hot_nodes = stats.get("hot_nodes") or {}
+            if hot_nodes:
+                rendered = ", ".join(
+                    f"{relation}@{node}" for relation, node in sorted(hot_nodes.items())
+                )
+            else:
+                hot = stats.get("hot_relations") or []
+                rendered = ", ".join(hot) if hot else "(none)"
+            lines.append(f"hot relations: {rendered}")
+            gaps = stats.get("unreachable_nodes") or []
+            if gaps:
+                lines.append(
+                    "unreachable nodes: " + ", ".join(str(node) for node in gaps)
+                )
             for node in stats.get("nodes", []):
                 if not node.get("reachable", True):
                     lines.append(

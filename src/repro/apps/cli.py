@@ -310,7 +310,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         required=True,
         help="a member node's address; repeat once per node — order defines "
-        "the placement indices (node 0 is the residence node)",
+        "the placement indices (cross-node signatures take up residence at "
+        "a node hashed from the signature)",
     )
     router.add_argument(
         "--standby",
@@ -327,6 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="relation shard count (default: the node count; must be a "
         "multiple of it so shard and node routing agree)",
+    )
+    router.add_argument(
+        "--reshard",
+        action="store_true",
+        help="after rebuilding the registry from the nodes, relocate every "
+        "live query to its placement under this (changed) --node list; "
+        "pass the SAME --shards value as before — the shard count is the "
+        "resharding invariant and must stay a multiple of the node count",
     )
 
     connect = commands.add_parser("connect", help="open a shell against a remote server")
@@ -441,6 +450,7 @@ def build_router(
     nodes: list[str],
     standbys: Optional[list[str]] = None,
     shards: Optional[int] = None,
+    reshard: bool = False,
 ):
     """Assemble (and start) the gateway the ``router`` sub-command runs."""
     from repro.cluster import BackgroundClusterRouter, NodeSpec, PlacementMap
@@ -461,7 +471,7 @@ def build_router(
         ],
         shard_count=shards,
     )
-    router = BackgroundClusterRouter(placement, host=host, port=port)
+    router = BackgroundClusterRouter(placement, host=host, port=port, reshard=reshard)
     router.start()
     return router
 
@@ -563,7 +573,12 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
         return 0
     if args.command == "router":
         router = build_router(
-            args.host, args.port, args.nodes, args.standbys, shards=args.shards
+            args.host,
+            args.port,
+            args.nodes,
+            args.standbys,
+            shards=args.shards,
+            reshard=args.reshard,
         )
         host, port = router.address
         print(

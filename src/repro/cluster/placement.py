@@ -21,6 +21,7 @@ of the compiled query across the test corpus.
 from __future__ import annotations
 
 import re
+import zlib
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
@@ -94,10 +95,18 @@ class PlacementMap:
 
     ``shard_count`` defaults to the node count, making node routing the
     coarsest consistent view of shard routing; a larger multiple of the node
-    count keeps finer shards while still agreeing on node boundaries.  Node 0
-    doubles as the **residence node**: cross-node signatures (and anything
-    entangled with them) are co-located there, the cluster analogue of the
-    sharded coordinator's global residence.
+    count keeps finer shards while still agreeing on node boundaries.
+
+    Cross-node signatures need a **residence node** where every entangled
+    partner can meet (the cluster analogue of the sharded coordinator's
+    global residence).  Residence is *per signature*: the sorted cross-node
+    signature is hashed with the same CRC32 arithmetic that places single
+    relations (:meth:`residence_node_for`), so residence load spreads over
+    all members instead of piling onto node 0.  Two queries that can
+    coordinate share at least one answer relation, and the router's
+    hot-relation rule drags later arrivals to wherever the first cross-node
+    signature landed — per-signature hashing only has to be *deterministic*,
+    not globally unique, for partners to meet.
     """
 
     def __init__(self, nodes: Sequence[NodeSpec], shard_count: Optional[int] = None) -> None:
@@ -118,15 +127,27 @@ class PlacementMap:
     def node_count(self) -> int:
         return len(self.nodes)
 
-    #: Cross-node (and hot-relation-entangled) queries are co-located here.
-    residence_node = 0
-
     def node_for_relation(self, relation: str) -> int:
         return node_for_relation(relation, self.node_count, self.shard_count)
 
     def node_for_signature(self, signature: frozenset[str]) -> Optional[int]:
         """The single owning node, or ``None`` for a cross-node signature."""
         return route_signature_to_node(signature, self.node_count, self.shard_count)
+
+    def residence_node_for(self, signature: frozenset[str]) -> int:
+        """Where a cross-node (or empty) signature takes up residence.
+
+        CRC32 of the sorted, ``|``-joined lower-cased signature, modulo the
+        node count — the same arithmetic family as
+        :func:`~repro.core.sharding.shard_for_relation`, applied to the whole
+        signature so distinct cross-node signatures spread over all members.
+        An empty signature (unparseable SQL the target node will reject with
+        the authoritative error) pins to node 0.
+        """
+        if not signature:
+            return 0
+        key = "|".join(sorted(relation.lower() for relation in signature))
+        return zlib.crc32(key.encode("utf-8")) % self.node_count
 
     def shards_of(self, node_index: int) -> tuple[int, ...]:
         """The relation shards a node owns (for observability/docs)."""
@@ -135,12 +156,44 @@ class PlacementMap:
             if shard % self.node_count == node_index
         )
 
+    def split(self, new_nodes: Sequence[NodeSpec]) -> "PlacementMap":
+        """A map over more (or fewer) nodes that keeps every relation's shard.
+
+        The resharding invariant: ``shard_count`` never changes, so a
+        relation's *shard* is stable across the split and only the
+        shard→node projection moves.  Guarded so a reshard can only happen
+        when the old and new projections are commensurable — the inherited
+        ``shard_count`` must be a multiple of the new node count — which
+        bounds the relocation sweep to :meth:`moved_shards` instead of every
+        relation in the cluster.
+        """
+        new_map = PlacementMap(new_nodes, shard_count=self.shard_count)
+        return new_map
+
+    def moved_shards(self, new_map: "PlacementMap") -> tuple[int, ...]:
+        """Shards whose owning node differs between this map and ``new_map``.
+
+        Only meaningful between maps sharing ``shard_count`` (the
+        :meth:`split` invariant); a relation needs relocation after a
+        reshard exactly when its shard appears here.
+        """
+        if new_map.shard_count != self.shard_count:
+            raise ValueError(
+                f"maps shard differently ({self.shard_count} vs "
+                f"{new_map.shard_count}); moved_shards needs a split() pair"
+            )
+        return tuple(
+            shard
+            for shard in range(self.shard_count)
+            if shard % self.node_count != shard % new_map.node_count
+        )
+
     def describe(self) -> dict[str, Any]:
         """A JSON-safe summary (the ``cluster`` stats block's ``placement``)."""
         return {
             "node_count": self.node_count,
             "shard_count": self.shard_count,
-            "residence_node": self.residence_node,
+            "residence": "per-signature",
             "nodes": [
                 {
                     "index": node.index,

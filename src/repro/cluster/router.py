@@ -12,11 +12,13 @@ node and:
   fanned out as **one** ``submit_many`` frame per target node, so the
   per-batch framing/locking economics survive the extra hop;
 * runs the **cross-node residence pass**: a query whose signature spans
-  nodes is co-located on the residence node and its relations become *hot*;
-  pending queries stranded on home nodes that touch a hot relation are
-  relocated (cancel there, resubmit here, same query id) so entangled
-  partners always share one matching universe — the cluster analogue of the
-  sharded coordinator's global residence;
+  nodes is co-located on the *residence node of its signature* (a CRC32 hash
+  over the sorted signature, so residence load spreads over all members) and
+  its relations become *hot* there; pending queries stranded on home nodes
+  that touch a hot relation are relocated (cancel there, resubmit at the hot
+  node, same query id) so entangled partners always share one matching
+  universe — the cluster analogue of the sharded coordinator's global
+  residence;
 * **forwards pushes**: nodes push ``done`` states to the router's node
   connection; the router settles its registry entry and re-pushes to every
   client connection watching that query — client handles stay push-driven
@@ -34,12 +36,23 @@ The router never compiles SQL for routing (signatures come from
 :func:`~repro.cluster.placement.extract_signature`'s keyword scan) and never
 holds answers: all coordination state lives on the nodes; the registry holds
 only routing facts and terminal snapshots.
+
+Because the registry is *soft* state, the router is restartable: on start it
+fans ``requests`` out to every member node, rebuilds the registry from what
+the nodes report (owning node, terminal snapshots, hot relations recomputed
+from where cross-node residents actually live) and advances the ``r{n}`` id
+counter past the maximum id observed anywhere — so after a crash every
+previously acked query is waitable/cancelable again and new ids never
+collide with pre-crash ones.  The same rebuild underpins ``--reshard``: a
+router started over a *changed* node list first recovers, then sweeps every
+live query to its placement under the new map.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import re
 import time
 from typing import Any, Optional, Sequence
 
@@ -101,6 +114,16 @@ class _NodeClient(AsyncRemoteService):
             router._schedule_node_loss(self.node_index)
 
 
+#: router-assigned query ids, scanned during the restart rebuild
+_ROUTER_ID = re.compile(r"^r(\d+)$")
+
+#: rebuild merge priority when one query id shows up on several nodes — a
+#: pre-crash relocation leaves a ``cancelled`` ghost on the home node next to
+#: the live copy at residence, so the live state must win, and any real
+#: outcome beats the relocation ghost
+_REBUILD_PRIORITY = {"pending": 0, "answered": 1, "rejected": 2, "cancelled": 3}
+
+
 def _rejected_state(
     query_id: str, owner: Optional[str], sql: Optional[str], error: str
 ) -> dict[str, Any]:
@@ -130,11 +153,15 @@ class ClusterRouter(AsyncServerBase):
         port: int = 0,
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         connect_timeout: float = 10.0,
+        reshard: bool = False,
     ) -> None:
         super().__init__(host=host, port=port, max_in_flight=max_in_flight)
         self.placement = placement
         self.registry = QueryRegistry()
         self._connect_timeout = connect_timeout
+        #: when set, the post-rebuild sweep relocates every live query to its
+        #: placement under (a possibly changed) ``placement`` before serving
+        self._reshard = reshard
         self._clients: list[Optional[_NodeClient]] = [None] * placement.node_count
         self._standby_stat_clients: dict[int, AsyncRemoteService] = {}
         #: router-assigned query ids (``r1``, ``r2``…) — the router is the id
@@ -151,6 +178,11 @@ class ClusterRouter(AsyncServerBase):
         self.duplicate_rejections = 0
         self.failovers = 0
         self.router_timeouts = 0
+        self.recovered_queries = 0
+        self.resharded_relocations = 0
+        #: nodes that could not be introspected during a fan-out that was
+        #: served anyway from the reachable members (stats/answers/rebuild)
+        self.introspection_gaps = 0
 
     # -- lifecycle ---------------------------------------------------------------------------
 
@@ -164,6 +196,113 @@ class ClusterRouter(AsyncServerBase):
             client.node_index = spec.index
             client.router = self
             self._clients[spec.index] = client
+        # Recover the soft routing state from the nodes before the listener
+        # accepts anyone: on a fresh cluster this is one cheap empty fan-out,
+        # after a router crash it is the whole point.
+        await self._rebuild_registry()
+        if self._reshard:
+            await self._reshard_sweep()
+        if self.registry.hot_nodes:
+            await self._relocation_pass()
+
+    async def _rebuild_registry(self) -> None:
+        """Reconstruct the registry by introspecting every member node.
+
+        ``requests`` on a node returns every query it knows — pending and
+        terminal, with answers — *and* subscribes this connection to ``done``
+        pushes for the pending ones, so recovered entries settle the same way
+        freshly routed ones do.  When one query id shows up on several nodes
+        (a pre-crash relocation leaves a ``cancelled`` ghost on the home
+        node), :data:`_REBUILD_PRIORITY` picks the live copy.  Hot relations
+        are rebuilt from where cross-node residents are *actually found* —
+        after recovery, reality on the nodes beats the placement arithmetic —
+        and the ``r{n}`` counter advances past the maximum id observed
+        anywhere, so post-restart ids never collide.
+        """
+
+        async def requests_of(node: int) -> list[dict[str, Any]]:
+            try:
+                return await self._client(node)._call("requests")
+            except Exception:  # noqa: BLE001 - rebuild from the reachable members
+                self.introspection_gaps += 1
+                return []
+
+        per_node = await asyncio.gather(
+            *(requests_of(node) for node in range(self.placement.node_count))
+        )
+        best: dict[str, tuple[int, int, dict[str, Any]]] = {}
+        highest = 0
+        for node, states in enumerate(per_node):
+            for state in states:
+                query_id = str(state.get("query_id"))
+                match = _ROUTER_ID.match(query_id)
+                if match:
+                    highest = max(highest, int(match.group(1)))
+                rank = _REBUILD_PRIORITY.get(str(state.get("status")), 4)
+                incumbent = best.get(query_id)
+                if incumbent is None or rank < incumbent[0]:
+                    best[query_id] = (rank, node, state)
+        for query_id, (_rank, node, state) in sorted(best.items()):
+            if query_id in self.registry:
+                continue
+            sql = state.get("sql") or ""
+            signature = extract_signature(sql) if sql else frozenset()
+            home = self.placement.node_for_signature(signature)
+            entry = RoutedQuery(
+                query_id=query_id,
+                sql=sql,
+                owner=state.get("owner"),
+                signature=signature,
+                node=node,
+                status=PENDING,
+                registered_at=float(state.get("registered_at") or 0.0),
+            )
+            entry.submitted.set_result(None)
+            live = str(state.get("status")) == "pending"
+            # A live query found off its single home node was pinned there by
+            # the pre-crash residence pass; marking it resident re-heats its
+            # relations at that node, so future partners co-locate with it.
+            entry.resident = live and bool(signature) and (home is None or home != node)
+            self.registry.add(entry)
+            if not live:
+                self.registry.settle(query_id, state)
+            self.recovered_queries += 1
+        if highest:
+            self._router_ids = itertools.count(highest + 1)
+
+    async def _reshard_sweep(self) -> None:
+        """Relocate every live query to its placement under the current map.
+
+        Run once after the rebuild when the router was started with
+        ``reshard=True`` over a changed node list (the
+        :meth:`~repro.cluster.placement.PlacementMap.split` invariant keeps
+        ``shard_count`` fixed, so only the shard→node projection moved).
+        Residence pins are recomputed from first principles, hot groups are
+        re-hashed over the new member set, and each stranded query is moved
+        — single-home queries back to their home node, residence groups to
+        their re-hashed node.
+        """
+        assert self._relocation_lock is not None
+        async with self._relocation_lock:
+            self.registry.reset_residents(
+                lambda signature: self.placement.node_for_signature(signature) is None
+            )
+            self.registry.rehash_hot(self.placement.residence_node_for)
+            for entry in self.registry.live_entries():
+                if entry.terminal:
+                    continue
+                home = self.placement.node_for_signature(entry.signature)
+                target = self.registry.hot_target(entry.signature)
+                make_resident = target is not None
+                if target is None:
+                    target = (
+                        home
+                        if home is not None
+                        else self.placement.residence_node_for(entry.signature)
+                    )
+                if entry.node != target:
+                    await self._relocate(entry, target, make_resident=make_resident)
+                    self.resharded_relocations += 1
 
     async def _close_resources(self) -> None:
         clients = [c for c in self._clients if c is not None]
@@ -191,7 +330,7 @@ class ClusterRouter(AsyncServerBase):
         entry = self.registry.get(query_id)
         if entry is None or entry.terminal:
             return
-        if entry.node != node_index:
+        if entry.node != node_index and entry.relocating_to != node_index:
             return  # stale push from a node the query was relocated away from
         if entry.status == RELOCATING and state.get("status") == "cancelled":
             return  # the router's own relocation cancel, not a client outcome
@@ -237,12 +376,20 @@ class ClusterRouter(AsyncServerBase):
         return sql, item.get("owner"), None if query_id is None else str(query_id)
 
     def _plan_route(self, signature: frozenset[str]) -> tuple[int, Optional[int], bool]:
-        """``(target node, home node, resident?)`` for one signature."""
+        """``(target node, home node, resident?)`` for one signature.
+
+        Precedence: an already-hot relation pins the query to its group's
+        node (partners must meet where the group lives); otherwise a
+        cross-node signature takes up residence at its hashed node; otherwise
+        the query simply goes home.
+        """
         home = self.placement.node_for_signature(signature)
-        resident = home is None or bool(signature & self.registry.hot_relations)
-        target = self.placement.residence_node if resident else home
-        assert target is not None
-        return target, home, resident
+        hot = self.registry.hot_target(signature)
+        if hot is not None:
+            return hot, home, True
+        if home is None:
+            return self.placement.residence_node_for(signature), home, True
+        return home, home, False
 
     async def _route_and_submit(
         self, connection: _AsyncConnection, items: Sequence[Any], batch: bool
@@ -342,7 +489,7 @@ class ClusterRouter(AsyncServerBase):
     # -- the cross-node residence pass --------------------------------------------------------
 
     async def _relocation_pass(self) -> None:
-        """Move every pending query entangled with a hot relation to residence.
+        """Move every pending query stranded off its hot group's node there.
 
         Runs to a fixpoint: relocated queries contribute their own relations
         to the hot set, which can implicate further victims (the transitive
@@ -351,31 +498,41 @@ class ClusterRouter(AsyncServerBase):
         assert self._relocation_lock is not None
         async with self._relocation_lock:
             while True:
-                victims = self.registry.relocation_victims(
-                    self.registry.hot_relations, self.placement.residence_node
-                )
-                if not victims:
+                plan = self.registry.relocation_plan()
+                if not plan:
                     return
-                for entry in victims:
-                    await self._relocate(entry)
+                for entry, target in plan:
+                    await self._relocate(entry, target)
 
-    async def _relocate(self, entry: RoutedQuery) -> None:
+    async def _relocate(
+        self, entry: RoutedQuery, target: int, make_resident: bool = True
+    ) -> None:
+        """Cancel ``entry`` where it lives and resubmit it (same id) on ``target``.
+
+        ``entry.node`` keeps the old route until the resubmit RPC returns:
+        flipping it early would strand ``wait``/``cancel`` on a node that
+        never received the query if the resubmit fails.  While the move is in
+        flight ``relocating_to`` names the target so a ``done`` push from
+        either side of the move is accepted — the target node can match and
+        push before the resubmit response is processed here.
+        """
         loop = asyncio.get_running_loop()
         while entry.status == SUBMITTING:
             try:
                 await asyncio.shield(entry.submitted)
             except Exception:  # noqa: BLE001 - the submit path settled it
                 break
-        if entry.terminal:
+        if entry.terminal or entry.node == target:
             return
         old_node = entry.node
         entry.status = RELOCATING
+        entry.relocating_to = target
         entry.submitted = loop.create_future()
         try:
             try:
                 await self._client(old_node)._call("cancel", query_id=entry.query_id)
             except QueryAlreadyAnsweredError:
-                # Matched on the home node before the pass reached it; its
+                # Matched on the old node before the pass reached it; its
                 # ``done`` push settles the entry (entry.node still points
                 # there, so the push is accepted).
                 if not entry.terminal:
@@ -384,15 +541,14 @@ class ClusterRouter(AsyncServerBase):
             except QueryNotPendingError:
                 if entry.terminal:
                     return
-                # The home node does not know it (lost to a failover window):
-                # resubmitting on residence below restores it.
+                # The old node does not know it (lost to a failover window):
+                # resubmitting on the target below restores it.
             except ServiceUnavailableError:
                 if entry.terminal:
                     return
-                # Home node is gone; the resubmission below is the rescue.
-            entry.node = self.placement.residence_node
+                # Old node is gone; the resubmission below is the rescue.
             try:
-                state = await self._client(self.placement.residence_node)._call(
+                state = await self._client(target)._call(
                     "submit",
                     item={
                         "sql": entry.sql,
@@ -401,24 +557,29 @@ class ClusterRouter(AsyncServerBase):
                     },
                 )
             except Exception as exc:  # noqa: BLE001 - surface as a terminal outcome
+                # The route still names the old node (where the query was
+                # last known); the outcome is terminal either way.
                 self._settle_entry(
                     entry,
                     _rejected_state(
                         entry.query_id,
                         entry.owner,
                         entry.sql,
-                        f"relocation to the residence node failed: {exc}",
+                        f"relocation to node {target} failed: {exc}",
                     ),
                 )
                 return
+            entry.node = target
             self.relocations += 1
-            self.registry.mark_resident(entry)
+            if make_resident:
+                self.registry.mark_resident(entry)
             if not entry.terminal:
                 if state.get("status") == "pending":
                     entry.status = PENDING
                 else:
                     self._settle_entry(entry, state)
         finally:
+            entry.relocating_to = None
             if not entry.submitted.done():
                 entry.submitted.set_result(None)
 
@@ -513,9 +674,16 @@ class ClusterRouter(AsyncServerBase):
 
     # -- operations: plain SQL -----------------------------------------------------------------
 
+    def _read_client(self) -> _NodeClient:
+        """Any live node can answer a read (base data is broadcast to all)."""
+        for node in range(self.placement.node_count):
+            client = self._clients[node]
+            if client is not None and client._failure is None:
+                return client
+        return self._client(0)
+
     async def _op_query(self, _connection: _AsyncConnection, sql: str) -> dict[str, Any]:
-        # Base data is broadcast to every node; any node can answer a read.
-        return await self._client(self.placement.residence_node)._call("query", sql=sql)
+        return await self._read_client()._call("query", sql=sql)
 
     async def _execute_statement(
         self, connection: _AsyncConnection, statement: ast.Statement, owner: Optional[str]
@@ -527,9 +695,7 @@ class ClusterRouter(AsyncServerBase):
             )
             return {"kind": "handle", "state": states[0]}
         if isinstance(statement, ast.Select):
-            result = await self._client(self.placement.residence_node)._call(
-                "query", sql=sql
-            )
+            result = await self._read_client()._call("query", sql=sql)
             return {"kind": "relation", "result": result}
         # DDL/DML changes base data that matching reads everywhere: broadcast
         # to every node, serialized so concurrent broadcasts cannot interleave
@@ -593,26 +759,36 @@ class ClusterRouter(AsyncServerBase):
         # registration exists only on its home node, so nodes that have never
         # seen it contribute nothing — the relation is unknown to the cluster
         # only when *every* node says so.
+        async def answers_of(node: int) -> list[list[Any]]:
+            return await self._client(node)._call("answers", relation=relation)
+
         per_node = await asyncio.gather(
-            *(
-                self._client(node)._call("answers", relation=relation)
-                for node in range(self.placement.node_count)
-            ),
+            *(answers_of(node) for node in range(self.placement.node_count)),
             return_exceptions=True,
         )
         merged: list[list[Any]] = []
         known = False
+        unknown: Optional[BaseException] = None
+        gaps = 0
         for rows in per_node:
             if isinstance(rows, BaseException):
                 if isinstance(rows, EntanglementError):
+                    unknown = unknown or rows
                     continue
-                raise rows
+                # A node unreachable mid-fan-out is a gap in the union, not a
+                # failure of it: the reachable members' answers are still the
+                # cluster's answers (stats reports the gap count).
+                gaps += 1
+                continue
             known = True
             merged.extend(rows)
+        self.introspection_gaps += gaps
         if not known:
-            for rows in per_node:
-                if isinstance(rows, BaseException):
-                    raise rows
+            if unknown is not None:
+                raise unknown
+            raise ServiceUnavailableError(
+                f"no cluster node is reachable to serve answers for {relation!r}"
+            )
         return merged
 
     async def _op_stats(self, _connection: _AsyncConnection) -> dict[str, Any]:
@@ -625,6 +801,8 @@ class ClusterRouter(AsyncServerBase):
         per_node = await asyncio.gather(
             *(stats_of(node) for node in range(self.placement.node_count))
         )
+        unreachable = [node for node, stats in enumerate(per_node) if stats is None]
+        self.introspection_gaps += len(unreachable)
         counters: dict[str, int] = {}
         pending = 0
         shards: list[dict[str, Any]] = []
@@ -662,15 +840,23 @@ class ClusterRouter(AsyncServerBase):
             "role": "router",
             "node_count": self.placement.node_count,
             "shard_count": self.placement.shard_count,
-            "residence_node": self.placement.residence_node,
+            "residence": "per-signature",
             "nodes": node_blocks,
+            "unreachable_nodes": unreachable,
             "routed_submits": self.routed_submits,
             "cross_node_submits": self.cross_node_submits,
             "relocations": self.relocations,
             "duplicate_rejections": self.duplicate_rejections,
             "failovers": self.failovers,
             "hot_relations": sorted(self.registry.hot_relations),
+            "hot_nodes": {
+                relation: self.registry.hot_nodes[relation]
+                for relation in sorted(self.registry.hot_nodes)
+            },
             "registered_queries": len(self.registry),
+            "recovered_queries": self.recovered_queries,
+            "resharded_relocations": self.resharded_relocations,
+            "introspection_gaps": self.introspection_gaps,
         }
         return {
             "counters": counters,
@@ -879,6 +1065,11 @@ class ClusterRouter(AsyncServerBase):
                 continue
             if not entry.submitted.done():
                 entry.submitted.set_result(None)
+            if entry.terminal:
+                # A push settled the entry while the re-request was in
+                # flight; re-marking it pending here would resurrect a done
+                # query, so the settled outcome stands.
+                continue
             entry.status = PENDING
             if state.get("status") != "pending":
                 self._settle_entry(entry, state)
@@ -898,6 +1089,7 @@ class BackgroundClusterRouter(BackgroundAsyncServer):
         host: str = "127.0.0.1",
         port: int = 0,
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        reshard: bool = False,
     ) -> None:
         super().__init__(
             server_factory=ClusterRouter,
@@ -905,4 +1097,5 @@ class BackgroundClusterRouter(BackgroundAsyncServer):
             host=host,
             port=port,
             max_in_flight=max_in_flight,
+            reshard=reshard,
         )

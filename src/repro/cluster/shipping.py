@@ -39,27 +39,42 @@ class WalStream:
         self.snapshot: Optional[dict[str, Any]] = None
 
     def subscribe(self) -> dict[str, Any]:
-        """Connect, subscribe, and return the primary's state snapshot."""
+        """Connect, subscribe, and return the primary's state snapshot.
+
+        A failed subscription closes the socket it opened — the caller holds
+        no reference to retry on, so leaving it dangling would leak the fd
+        (and a primary-side connection slot) on every bootstrap attempt.
+        """
         sock = socket.create_connection((self.host, self.port), timeout=self._timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock = sock
-        sock.sendall(codec.encode_frame(codec.request_frame(1, "wal_subscribe", {})))
-        # The response races with pushes for records appended after the
-        # snapshot was captured; park those until the snapshot is delivered.
-        while True:
-            frame = codec.read_frame(sock)
-            if frame is None:
-                raise ProtocolError("primary closed the connection before acking wal_subscribe")
-            if frame.get("push") == "wal":
-                self._early_pushes.append(frame["data"])
-                continue
-            if frame.get("id") == 1:
-                if not frame.get("ok", False):
-                    raise codec.decode_error(frame.get("error") or {})
-                result = frame.get("result") or {}
-                self.snapshot = dict(result.get("state") or {})
-                return self.snapshot
-            raise ProtocolError(f"unexpected frame while subscribing: {frame!r}")
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            sock.sendall(codec.encode_frame(codec.request_frame(1, "wal_subscribe", {})))
+            # The response races with pushes for records appended after the
+            # snapshot was captured; park those until the snapshot is delivered.
+            while True:
+                frame = codec.read_frame(sock)
+                if frame is None:
+                    raise ProtocolError(
+                        "primary closed the connection before acking wal_subscribe"
+                    )
+                if frame.get("push") == "wal":
+                    self._early_pushes.append(frame["data"])
+                    continue
+                if frame.get("id") == 1:
+                    if not frame.get("ok", False):
+                        raise codec.decode_error(frame.get("error") or {})
+                    result = frame.get("result") or {}
+                    self.snapshot = dict(result.get("state") or {})
+                    return self.snapshot
+                raise ProtocolError(f"unexpected frame while subscribing: {frame!r}")
+        except BaseException:
+            self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
 
     def records(self) -> Iterator[dict[str, Any]]:
         """Yield WAL records in shipping order until the stream ends.

@@ -12,7 +12,9 @@ duplicate detection.
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
+import itertools
 
 import pytest
 
@@ -179,27 +181,41 @@ class TestClusterRouting:
             "WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
             f"AND ('left', fno) IN ANSWER {rel_a} CHOOSE 1"
         )
-        assert placement.node_for_signature(extract_signature(cross)) is None
+        signature = extract_signature(cross)
+        assert placement.node_for_signature(signature) is None
+        residence = placement.residence_node_for(signature)
         left = client.submit(cross, owner="left")
         right = client.submit(mirror, owner="right")
         left.result(timeout=10.0)
         assert right.is_answered
-        # both lived (and matched) on the residence node, nowhere else
-        residence = nodes[placement.residence_node]
-        assert residence.service.stats()["queries_registered"] == 2
-        assert residence.service.stats()["groups_matched"] == 1
-        for server in nodes[1:]:
-            assert server.service.stats()["queries_registered"] == 0
+        # both lived (and matched) on the signature's hashed residence node,
+        # nowhere else
+        assert nodes[residence].service.stats()["queries_registered"] == 2
+        assert nodes[residence].service.stats()["groups_matched"] == 1
+        for index, server in enumerate(nodes):
+            if index != residence:
+                assert server.service.stats()["queries_registered"] == 0
         stats = client.stats()
         assert stats.cluster["cross_node_submits"] == 2
 
     def test_hot_relation_strands_relocate_to_residence(self, three_node_cluster):
         nodes, placement, _router, client, relations = three_node_cluster
-        off = relations[1]  # homed off the residence node
-        other = relations[2]
+        # pick a cross-node pair whose hashed residence is NOT the stranded
+        # query's home node, so heating its relation forces a relocation
+        off = other = None
+        for left, right in itertools.permutations(relations, 2):
+            signature = frozenset({left, right})
+            if placement.node_for_signature(signature) is not None:
+                continue
+            if placement.residence_node_for(signature) != placement.node_for_relation(left):
+                off, other = left, right
+                break
+        assert off is not None and other is not None
+        home = placement.node_for_relation(off)
+        residence = placement.residence_node_for(frozenset({off, other}))
         # 1. a single-relation query lands on its home node and waits there
         stranded = client.submit(relation_pair_sql("solo", "multi", off), owner="solo")
-        assert nodes[1].service.stats()["queries_registered"] == 1
+        assert nodes[home].service.stats()["queries_registered"] == 1
         # 2. a cross-node query heats `off` -> the stranded query relocates
         cross = (
             f"SELECT 'multi', fno INTO ANSWER {other} "
@@ -210,14 +226,14 @@ class TestClusterRouting:
         stats = client.stats()
         assert stats.cluster["relocations"] == 1
         assert set(stats.cluster["hot_relations"]) >= {off, other}
-        residence_pending = stats.cluster["nodes"][placement.residence_node]["pending"]
-        assert residence_pending == 2
+        assert stats.cluster["hot_nodes"][off] == residence
+        assert stats.cluster["nodes"][residence]["pending"] == 2
         # 3. the partner completing the stranded pair routes to residence too
         #    (its relation is hot) and the pair matches there
         partner = client.submit(relation_pair_sql("multi", "solo", off), owner="m2")
         stranded.result(timeout=10.0)
         assert partner.is_answered
-        assert nodes[placement.residence_node].service.stats()["groups_matched"] == 1
+        assert nodes[residence].service.stats()["groups_matched"] == 1
 
     def test_duplicate_ids_rejected_across_nodes(self, three_node_cluster):
         _nodes, _placement, _router, client, relations = three_node_cluster
@@ -254,7 +270,11 @@ class TestClusterRouting:
         cluster = stats.cluster
         assert cluster["role"] == "router"
         assert cluster["node_count"] == 3
-        assert cluster["residence_node"] == placement.residence_node
+        assert cluster["residence"] == "per-signature"
+        assert cluster["unreachable_nodes"] == []
+        assert cluster["recovered_queries"] == 0
+        assert cluster["resharded_relocations"] == 0
+        assert cluster["introspection_gaps"] == 0
         assert len(cluster["nodes"]) == 3
         for node in cluster["nodes"]:
             assert node["reachable"] is True
@@ -284,3 +304,44 @@ class TestClusterRouting:
         # a relation no node knows is still an error, not an empty union
         with pytest.raises(EntanglementError, match="unknown answer relation"):
             client.answers("NoSuchRelation")
+
+    def test_answers_and_stats_merge_past_unreachable_node(self, three_node_cluster):
+        """A node down mid-fan-out is a marked gap, not a failed call: the
+        reachable members' answers and stats are still served."""
+        nodes, placement, _router, client, relations = three_node_cluster
+        relation = relations[0]  # homed on node 0
+        client.submit(relation_pair_sql("a", "b", relation), owner="a")
+        partner = client.submit(relation_pair_sql("b", "a", relation), owner="b")
+        partner.result(timeout=10.0)
+        victim = 2  # holds neither the pair nor its answers
+        nodes[victim].stop()
+        answers = client.answers(relation)
+        assert {owner for owner, _fno in answers} == {"a", "b"}
+        stats = client.stats()
+        assert stats.cluster["nodes"][victim]["reachable"] is False
+        assert victim in stats.cluster["unreachable_nodes"]
+        assert stats.cluster["introspection_gaps"] >= 1
+
+    def test_failed_relocation_keeps_route_and_settles_rejected(self, three_node_cluster):
+        """The resubmit RPC failing must not strand the entry on a node that
+        never saw it: the route keeps naming the old node and the outcome is
+        a terminal rejection — wait and request resolve instead of hanging."""
+        nodes, placement, router, client, relations = three_node_cluster
+        relation = relations[1]
+        home = placement.node_for_relation(relation)
+        handle = client.submit(relation_pair_sql("solo", "ghost", relation), owner="solo")
+        server = router.server
+        entry = server.registry.get(handle.query_id)
+        assert entry is not None and entry.node == home
+        dead = (home + 1) % len(nodes)
+        nodes[dead].stop()
+        future = asyncio.run_coroutine_threadsafe(
+            server._relocate(entry, dead), router._loop
+        )
+        future.result(timeout=10.0)
+        assert entry.terminal
+        assert entry.node == home  # never flipped to the node that failed
+        assert entry.relocating_to is None
+        state = client.request(handle.query_id)
+        assert state.status is QueryStatus.REJECTED
+        assert "relocation to node" in (state.error or "")

@@ -163,13 +163,18 @@ class TestClusterSection:
             "role": "router",
             "node_count": 2,
             "shard_count": 4,
-            "residence_node": 0,
+            "residence": "per-signature",
             "routed_submits": 7,
             "cross_node_submits": 2,
             "relocations": 1,
             "duplicate_rejections": 0,
             "failovers": 1,
+            "recovered_queries": 5,
+            "resharded_relocations": 0,
+            "introspection_gaps": 1,
+            "unreachable_nodes": [1],
             "hot_relations": ["hotel", "reservation"],
+            "hot_nodes": {"hotel": 1, "reservation": 1},
             "nodes": [
                 {
                     "index": 0,
@@ -190,9 +195,11 @@ class TestClusterSection:
         }
         text = admin.cluster_text()
         assert "role = router" in text
-        assert "topology: nodes=2 shards=4 residence_node=0" in text
+        assert "topology: nodes=2 shards=4 residence=per-signature" in text
         assert "routed=7 cross_node=2 relocations=1" in text
-        assert "hot relations: hotel, reservation" in text
+        assert "recovery: recovered=5 resharded=0 introspection_gaps=1" in text
+        assert "hot relations: hotel@1, reservation@1" in text
+        assert "unreachable nodes: 1" in text
         assert "node 0 @ 127.0.0.1:7401: shards=[0, 2] pending=3" in text
         assert "standby@127.0.0.1:7501 lag=2 lsns" in text
         assert "node 1 @ 127.0.0.1:7402: UNREACHABLE" in text

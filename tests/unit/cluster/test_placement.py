@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import itertools
+import zlib
+
 import pytest
 
 from repro.core.compiler import compile_entangled
@@ -116,15 +119,83 @@ class TestPlacementMap:
         signature = frozenset({relations[0], other})
         assert placement.node_for_signature(signature) is None
 
-    def test_empty_signature_routes_to_residence(self) -> None:
+    def test_empty_signature_routes_to_node_zero(self) -> None:
         placement = PlacementMap(_nodes(3))
-        assert placement.node_for_signature(frozenset()) == placement.residence_node
+        assert placement.node_for_signature(frozenset()) == 0
+        assert placement.residence_node_for(frozenset()) == 0
 
     def test_shards_partition_across_nodes(self) -> None:
         placement = PlacementMap(_nodes(2), shard_count=6)
         owned = [placement.shards_of(i) for i in range(2)]
         assert sorted(owned[0] + owned[1]) == list(range(6))
         assert not set(owned[0]) & set(owned[1])
+
+    def test_residence_hash_matches_crc32_arithmetic(self) -> None:
+        # The property the router relies on: residence_node_for IS the CRC32
+        # of the sorted, lower-cased, '|'-joined signature, mod node count —
+        # any independent party (tests, operators, a future router) computes
+        # the same node.
+        placement = PlacementMap(_nodes(3))
+        for size in (1, 2, 3):
+            for combo in itertools.combinations([f"rel{i}" for i in range(8)], size):
+                signature = frozenset(combo)
+                expected = (
+                    zlib.crc32("|".join(sorted(signature)).encode("utf-8")) % 3
+                )
+                assert placement.residence_node_for(signature) == expected
+                assert 0 <= placement.residence_node_for(signature) < 3
+
+    def test_residence_hash_is_order_and_case_insensitive(self) -> None:
+        placement = PlacementMap(_nodes(4), shard_count=8)
+        assert placement.residence_node_for(
+            frozenset({"Hotel", "CAB"})
+        ) == placement.residence_node_for(frozenset({"cab", "hotel"}))
+
+    def test_cross_node_signatures_spread_over_multiple_residence_nodes(self) -> None:
+        # The point of per-signature residence: distinct cross-node
+        # signatures must land on >= 2 distinct nodes, not pile onto node 0.
+        placement = PlacementMap(_nodes(3))
+        relations = [f"rel{i}" for i in range(64)]
+        residences = set()
+        for left, right in itertools.combinations(relations[:16], 2):
+            signature = frozenset({left, right})
+            if placement.node_for_signature(signature) is not None:
+                continue  # single-home: the residence hash never applies
+            residences.add(placement.residence_node_for(signature))
+        assert len(residences) >= 2
+
+    def test_split_keeps_shard_count_and_relation_shards(self) -> None:
+        old = PlacementMap(_nodes(2), shard_count=12)
+        new = old.split(_nodes(3))
+        assert new.shard_count == 12
+        assert new.node_count == 3
+        # the invariant split() exists for: a relation's shard never moves
+        for relation in ("reservation", "hotel", "cab", "train"):
+            assert old.node_for_relation(relation) in range(2)
+            assert new.node_for_relation(relation) in range(3)
+
+    def test_split_rejects_incommensurable_node_count(self) -> None:
+        old = PlacementMap(_nodes(2), shard_count=4)
+        with pytest.raises(ValueError, match="multiple"):
+            old.split(_nodes(3))  # 4 shards cannot project onto 3 nodes
+
+    def test_moved_shards_are_exactly_the_reprojected_ones(self) -> None:
+        old = PlacementMap(_nodes(2), shard_count=12)
+        new = old.split(_nodes(3))
+        moved = old.moved_shards(new)
+        for shard in range(12):
+            if shard % 2 != shard % 3:
+                assert shard in moved
+            else:
+                assert shard not in moved
+        # growing a cluster moves some shards but never all of them
+        assert 0 < len(moved) < 12
+
+    def test_moved_shards_requires_a_split_pair(self) -> None:
+        old = PlacementMap(_nodes(2), shard_count=4)
+        other = PlacementMap(_nodes(2), shard_count=8)
+        with pytest.raises(ValueError, match="split"):
+            old.moved_shards(other)
 
     def test_describe_is_json_shaped(self) -> None:
         placement = PlacementMap(
@@ -133,7 +204,7 @@ class TestPlacementMap:
         )
         summary = placement.describe()
         assert summary["node_count"] == 2
-        assert summary["residence_node"] == 0
+        assert summary["residence"] == "per-signature"
         assert summary["nodes"][0]["standby"] == "127.0.0.1:7100"
         assert summary["nodes"][1]["standby"] is None
         assert summary["nodes"][0]["shards"] == [0]

@@ -84,17 +84,63 @@ class TestQueryRegistry:
         registry.mark_resident(entry)
         assert registry.hot_relations == frozenset({"hotel"})
 
-    def test_relocation_victims_are_live_offresidence_hot(self) -> None:
+    def test_hot_nodes_map_relations_to_the_residents_node(self) -> None:
         registry = QueryRegistry()
+        cross = _entry("r1", node=2, signature=frozenset({"a", "b"}), resident=True)
+        registry.add(cross)
+        assert registry.hot_nodes == {"a": 2, "b": 2}
+        assert registry.hot_target(frozenset({"b", "zzz"})) == 2
+        assert registry.hot_target(frozenset({"zzz"})) is None
+
+    def test_relocation_plan_targets_live_stranded_hot_queries(self) -> None:
+        registry = QueryRegistry()
+        anchor = _entry("r0", node=1, signature=frozenset({"hotel", "cab"}), resident=True)
         stranded = _entry("r1", node=2, signature=frozenset({"hotel"}))
-        unrelated = _entry("r2", node=2, signature=frozenset({"cab"}))
-        already_home = _entry("r3", node=0, signature=frozenset({"hotel"}))
+        unrelated = _entry("r2", node=2, signature=frozenset({"train"}))
+        already_there = _entry("r3", node=1, signature=frozenset({"hotel"}))
         settled = _entry("r4", node=2, signature=frozenset({"hotel"}))
-        for entry in (stranded, unrelated, already_home, settled):
+        for entry in (anchor, stranded, unrelated, already_there, settled):
             registry.add(entry)
         registry.settle("r4", {"status": "answered"})
-        victims = registry.relocation_victims({"hotel"}, residence_node=0)
-        assert victims == [stranded]
+        assert registry.relocation_plan() == [(stranded, 1)]
+
+    def test_hot_group_assignment_is_sticky_across_merges(self) -> None:
+        # two disjoint groups on different nodes; a bridging resident merges
+        # them and the merged group keeps ONE node (the one already assigned
+        # to the lexicographically smallest hot relation) — so the
+        # relocation plan drags the other side over instead of oscillating
+        registry = QueryRegistry()
+        registry.add(_entry("r1", node=1, signature=frozenset({"aa", "bb"}), resident=True))
+        registry.add(_entry("r2", node=2, signature=frozenset({"cc", "dd"}), resident=True))
+        assert registry.hot_nodes == {"aa": 1, "bb": 1, "cc": 2, "dd": 2}
+        bridge = _entry("r3", node=1, signature=frozenset({"bb", "cc"}), resident=True)
+        registry.add(bridge)
+        assert set(registry.hot_nodes.values()) == {1}
+        plan = registry.relocation_plan()
+        assert [(entry.query_id, target) for entry, target in plan] == [("r2", 1)]
+
+    def test_reset_residents_closes_over_signature_overlap(self) -> None:
+        registry = QueryRegistry()
+        cross = _entry("r1", node=0, signature=frozenset({"a", "b"}))
+        chained = _entry("r2", node=1, signature=frozenset({"b"}))
+        loner = _entry("r3", node=2, signature=frozenset({"z"}), resident=True)
+        for entry in (cross, chained, loner):
+            registry.add(entry)
+        # "a|b" is cross-node; "b" joins transitively; "z" is freed
+        registry.reset_residents(lambda signature: len(signature) > 1)
+        assert cross.resident and chained.resident and not loner.resident
+        assert set(registry.hot_nodes) == {"a", "b"}
+
+    def test_rehash_hot_replaces_group_assignments(self) -> None:
+        registry = QueryRegistry()
+        registry.add(_entry("r1", node=0, signature=frozenset({"a", "b"}), resident=True))
+        assert registry.hot_nodes == {"a": 0, "b": 0}
+        registry.rehash_hot(lambda signature: 3)
+        assert registry.hot_nodes == {"a": 3, "b": 3}
+        # sticky: recomputation keeps the rehashed assignment
+        registry.mark_resident(registry.get("r1"))
+        registry.add(_entry("r2", node=0, signature=frozenset({"b"}), resident=True))
+        assert registry.hot_nodes == {"a": 3, "b": 3}
 
     def test_counts_by_node_skip_terminal(self) -> None:
         registry = QueryRegistry()
