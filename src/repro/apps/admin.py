@@ -166,6 +166,26 @@ class AdminInterface:
             ]
         )
 
+    def matching_stats(self) -> dict:
+        """The match-policy block of :meth:`ServiceStats` (policy + counters)."""
+        return dict(self.service.stats().matching)
+
+    def matching_text(self) -> str:
+        stats = self.matching_stats()
+        if not stats:
+            return "(no matching stats reported)"
+        return "\n".join(
+            [
+                f"policy = {stats.get('policy', 'first_match')} "
+                f"(candidate_limit={stats.get('candidate_limit')})",
+                f"decisions: total={stats.get('decisions', 0)} "
+                f"ties_broken={stats.get('ties_broken', 0)}",
+                f"enumeration: groups={stats.get('groups_enumerated', 0)} "
+                f"skipped={stats.get('groups_skipped', 0)} "
+                f"truncated={stats.get('enumerations_truncated', 0)}",
+            ]
+        )
+
     def cluster_stats(self) -> dict:
         """The cluster block of :meth:`ServiceStats` (empty for single-node)."""
         return dict(self.service.stats().cluster)
@@ -307,6 +327,8 @@ class AdminInterface:
         sections.append(self.match_graph_text())
         sections.append("\n-- matching shards --")
         sections.append(self.shard_text())
+        sections.append("\n-- match policy --")
+        sections.append(self.matching_text())
         sections.append("\n-- transport --")
         sections.append(self.transport_text())
         sections.append("\n-- cluster --")

@@ -223,8 +223,21 @@ class CommandLine:
                 for request in requests
             )
         if name == ".stats":
-            statistics = self.service.stats().as_dict()
-            return "\n".join(f"{key} = {value}" for key, value in sorted(statistics.items()))
+            stats = self.service.stats()
+            lines = [f"{key} = {value}" for key, value in sorted(stats.as_dict().items())]
+            matching = dict(stats.matching)
+            if matching:
+                lines.append(
+                    "match_policy = {policy} (limit={limit}, decisions={decisions}, "
+                    "enumerated={enumerated}, skipped={skipped})".format(
+                        policy=matching.get("policy"),
+                        limit=matching.get("candidate_limit"),
+                        decisions=matching.get("decisions", 0),
+                        enumerated=matching.get("groups_enumerated", 0),
+                        skipped=matching.get("groups_skipped", 0),
+                    )
+                )
+            return "\n".join(lines)
         if name == ".retry":
             answered = self.service.retry_pending()
             return f"retried pending queries; {answered} newly answered"
@@ -279,6 +292,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1000,
         help="WAL records between automatic snapshots; 0 disables (needs --data-dir)",
+    )
+    serve.add_argument(
+        "--match-policy",
+        choices=["first_match", "priority", "fairness", "min_cost"],
+        default="first_match",
+        help="how the coordinator chooses among candidate match groups: "
+        "first_match (classic first discovered group), priority (maximise "
+        "summed SubmitRequest priorities), fairness (serve the "
+        "longest-waiting member), min_cost (minimise the summed cost "
+        "attribute over chosen valuations)",
+    )
+    serve.add_argument(
+        "--policy-candidate-limit",
+        type=int,
+        default=16,
+        help="max candidate groups a non-first_match policy enumerates per "
+        "match attempt",
     )
     serve.add_argument(
         "--cluster-node",
@@ -362,6 +392,8 @@ def build_server(
     transport: str = "threaded",
     cluster_node: Optional[str] = None,
     standby_of: Optional[str] = None,
+    match_policy: str = "first_match",
+    policy_candidate_limit: int = 16,
 ) -> Union[CoordinationServer, BackgroundAsyncServer]:
     """Assemble (and start) the server the ``serve`` sub-command runs.
 
@@ -420,6 +452,8 @@ def build_server(
         data_dir=data_dir,
         fsync_policy=fsync_policy,
         snapshot_interval=snapshot_interval,
+        match_policy=match_policy,
+        policy_candidate_limit=policy_candidate_limit,
     )
     service = InProcessService(config=config)
     if cluster_node is not None:
@@ -547,6 +581,8 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
             transport=args.transport,
             cluster_node=args.cluster_node,
             standby_of=args.standby_of,
+            match_policy=args.match_policy,
+            policy_candidate_limit=args.policy_candidate_limit,
         )
         transport_label = "standby" if args.standby_of else args.transport
         system = server.service.system

@@ -61,6 +61,9 @@ class RoutedQuery:
     registered_at: float = 0.0
     #: set while the query is pinned to residence by the hot-relation rule
     resident: bool = False
+    #: optional per-query weight for the ``priority`` match policy; preserved
+    #: across relocations (cancel + resubmit re-sends it on the wire)
+    priority: Optional[float] = None
     #: the node a relocation is resubmitting to, while the RPC is in flight
     #: (``node`` keeps the old route until the resubmit succeeds, so a failed
     #: relocation never strands wait/cancel on a node that never saw the

@@ -248,6 +248,7 @@ class ClusterRouter(AsyncServerBase):
             sql = state.get("sql") or ""
             signature = extract_signature(sql) if sql else frozenset()
             home = self.placement.node_for_signature(signature)
+            priority = state.get("priority")
             entry = RoutedQuery(
                 query_id=query_id,
                 sql=sql,
@@ -256,6 +257,7 @@ class ClusterRouter(AsyncServerBase):
                 node=node,
                 status=PENDING,
                 registered_at=float(state.get("registered_at") or 0.0),
+                priority=None if priority is None else float(priority),
             )
             entry.submitted.set_result(None)
             live = str(state.get("status")) == "pending"
@@ -364,7 +366,7 @@ class ClusterRouter(AsyncServerBase):
     # -- submission routing ------------------------------------------------------------------
 
     @staticmethod
-    def _validate_item(item: Any) -> tuple[str, Optional[str], Optional[str]]:
+    def _validate_item(item: Any) -> tuple[str, Optional[str], Optional[str], Optional[float]]:
         if not isinstance(item, dict):
             raise ProtocolError(
                 f"submission items must be objects, got {type(item).__name__}"
@@ -373,7 +375,13 @@ class ClusterRouter(AsyncServerBase):
         if not isinstance(sql, str) or not sql.strip():
             raise ProtocolError("submission item carries no SQL text")
         query_id = item.get("query_id")
-        return sql, item.get("owner"), None if query_id is None else str(query_id)
+        priority = item.get("priority")
+        if priority is not None:
+            try:
+                priority = float(priority)
+            except (TypeError, ValueError):
+                raise ProtocolError(f"submission priority must be numeric, got {priority!r}")
+        return sql, item.get("owner"), None if query_id is None else str(query_id), priority
 
     def _plan_route(self, signature: frozenset[str]) -> tuple[int, Optional[int], bool]:
         """``(target node, home node, resident?)`` for one signature.
@@ -400,7 +408,7 @@ class ClusterRouter(AsyncServerBase):
         by_node: dict[int, list[tuple[int, dict[str, Any], RoutedQuery]]] = {}
         relocation_needed = False
         for index, item in enumerate(items):
-            sql, owner, query_id = self._validate_item(item)
+            sql, owner, query_id, priority = self._validate_item(item)
             if query_id is None:
                 query_id = f"r{next(self._router_ids)}"
             if query_id in self.registry:
@@ -423,6 +431,7 @@ class ClusterRouter(AsyncServerBase):
                 status=SUBMITTING,
                 registered_at=time.time(),
                 resident=resident,
+                priority=priority,
             )
             self.registry.add(entry)
             entries_by_index[index] = entry
@@ -431,6 +440,8 @@ class ClusterRouter(AsyncServerBase):
                 self.cross_node_submits += 1
             relocation_needed = relocation_needed or bool(resident and signature)
             wire_item = {"sql": sql, "owner": owner, "query_id": query_id}
+            if priority is not None:
+                wire_item["priority"] = priority
             by_node.setdefault(target, []).append((index, wire_item, entry))
 
         async def submit_on(node: int, group: list[tuple[int, dict[str, Any], RoutedQuery]]) -> None:
@@ -548,14 +559,14 @@ class ClusterRouter(AsyncServerBase):
                     return
                 # Old node is gone; the resubmission below is the rescue.
             try:
-                state = await self._client(target)._call(
-                    "submit",
-                    item={
-                        "sql": entry.sql,
-                        "owner": entry.owner,
-                        "query_id": entry.query_id,
-                    },
-                )
+                wire_item = {
+                    "sql": entry.sql,
+                    "owner": entry.owner,
+                    "query_id": entry.query_id,
+                }
+                if entry.priority is not None:
+                    wire_item["priority"] = entry.priority
+                state = await self._client(target)._call("submit", item=wire_item)
             except Exception as exc:  # noqa: BLE001 - surface as a terminal outcome
                 # The route still names the old node (where the query was
                 # last known); the outcome is terminal either way.
@@ -807,6 +818,8 @@ class ClusterRouter(AsyncServerBase):
         pending = 0
         shards: list[dict[str, Any]] = []
         node_blocks: list[dict[str, Any]] = []
+        matching: dict[str, Any] = {}
+        match_policies: set[str] = set()
         routed_counts = self.registry.counts_by_node(self.placement.node_count)
         for spec, stats in zip(self.placement.nodes, per_node):
             block: dict[str, Any] = {
@@ -823,6 +836,20 @@ class ClusterRouter(AsyncServerBase):
                 for shard in stats.get("shards") or ():
                     shards.append({"node": spec.index, **shard})
                 block["pending"] = int(stats.get("pending", 0))
+                node_matching = stats.get("matching") or {}
+                if node_matching:
+                    policy = node_matching.get("policy")
+                    if policy:
+                        match_policies.add(str(policy))
+                        block["match_policy"] = policy
+                    for key, value in node_matching.items():
+                        if key in ("policy", "candidate_limit"):
+                            continue
+                        if isinstance(value, bool) or not isinstance(value, (int, float)):
+                            continue
+                        matching[key] = matching.get(key, 0) + value
+                    if "candidate_limit" in node_matching:
+                        matching["candidate_limit"] = node_matching["candidate_limit"]
                 durability = stats.get("durability") or {}
                 block["wal_last_lsn"] = durability.get("wal_last_lsn")
                 block["wal_subscribers"] = durability.get("wal_subscribers")
@@ -858,6 +885,12 @@ class ClusterRouter(AsyncServerBase):
             "resharded_relocations": self.resharded_relocations,
             "introspection_gaps": self.introspection_gaps,
         }
+        if match_policies:
+            # One policy across the fleet is the expected deployment; report
+            # "mixed" (plus per-node blocks above) when nodes disagree.
+            matching["policy"] = (
+                next(iter(match_policies)) if len(match_policies) == 1 else "mixed"
+            )
         return {
             "counters": counters,
             "pending": pending,
@@ -865,6 +898,7 @@ class ClusterRouter(AsyncServerBase):
             "durability": {"enabled": False},
             "transport": self.metrics.snapshot(),
             "cluster": cluster,
+            "matching": matching,
         }
 
     async def _standby_lag(

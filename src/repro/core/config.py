@@ -77,6 +77,21 @@ class SystemConfig:
         log is truncated).  ``0`` disables automatic snapshots — the log
         then only shrinks on explicit ``checkpoint()`` calls.  Ignored
         without ``data_dir``.
+    match_policy:
+        How the coordinator chooses among candidate match groups: one of
+        ``first_match`` (the default — commit the first group the search
+        discovers, exactly the classic behaviour and cost), ``priority``
+        (maximise summed per-query priorities), ``fairness`` (serve the
+        longest-waiting member) or ``min_cost`` (minimise the summed
+        ``policy_cost_attribute`` over chosen valuations).  See
+        :mod:`repro.core.policy`.
+    policy_candidate_limit:
+        Upper bound on how many candidate groups a non-``first_match``
+        policy enumerates per match attempt.  Bounds the extra search work;
+        ``first_match`` never enumerates more than one group regardless.
+    policy_cost_attribute:
+        Variable name (case-insensitive) the ``min_cost`` policy sums over
+        each group's chosen valuations.
     """
 
     seed: Optional[int] = None
@@ -92,6 +107,9 @@ class SystemConfig:
     data_dir: Optional[Union[str, Path]] = None
     fsync_policy: str = "batch"
     snapshot_interval: int = 1000
+    match_policy: str = "first_match"
+    policy_candidate_limit: int = 16
+    policy_cost_attribute: str = "price"
 
     @property
     def resolved_shard_count(self) -> int:
@@ -120,4 +138,7 @@ class SystemConfig:
             "data_dir": None if self.data_dir is None else str(self.data_dir),
             "fsync_policy": self.fsync_policy,
             "snapshot_interval": self.snapshot_interval,
+            "match_policy": self.match_policy,
+            "policy_candidate_limit": self.policy_candidate_limit,
+            "policy_cost_attribute": self.policy_cost_attribute,
         }

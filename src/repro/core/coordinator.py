@@ -38,6 +38,13 @@ from repro.core.config import SystemConfig
 from repro.core.events import EventBus, EventType
 from repro.core.executor import ExecutionOutcome, JointExecutor
 from repro.core.matching import MatchedGroup, Matcher, ProviderIndex
+from repro.core.policy import (
+    FirstMatchPolicy,
+    PolicyContext,
+    PolicyStatistics,
+    get_policy,
+    select as select_by_policy,
+)
 from repro.core.safety import AnalysisReport, check
 from repro.core.stats import CoordinationStatistics
 from repro.errors import (
@@ -133,6 +140,13 @@ class Coordinator:
         else:
             self._matcher = Matcher(engine, rng=self.rng, max_group_size=config.max_group_size)
         self._index = ProviderIndex(use_constant_index=config.use_constant_index)
+
+        # Match-selection policy (validated here so a bad name fails at
+        # construction, not on the first match attempt).
+        self._policy = get_policy(config.match_policy)
+        self.policy_statistics = PolicyStatistics(
+            config.match_policy, config.policy_candidate_limit
+        )
 
         #: Durability journal (attached by the system after recovery); every
         #: accepted submission, answered group and cancellation is logged
@@ -389,11 +403,69 @@ class Coordinator:
         """Try to coordinate ``trigger`` with the current pool (lock held)."""
         if trigger.query_id not in self._pool:
             return None
-        group = self._matcher.find_group(trigger, self._pool, self._index)
+        group = self._select_group(trigger, self._pool, self._index)
         self._note_match_attempt(trigger, group, pool_size=len(self._pool))
         if group is None:
             return None
         return self._execute_group_locked(group)
+
+    def _select_group(
+        self,
+        trigger: ir.EntangledQuery,
+        pool: Any,
+        index: Any,
+    ) -> Optional[MatchedGroup]:
+        """Choose one match group for ``trigger`` under the configured policy.
+
+        ``first_match`` (and the exhaustive baseline, which has no enumeration
+        seam) short-circuits to the single-group search — the classic path at
+        the classic cost.  Other policies enumerate up to
+        ``policy_candidate_limit`` candidate groups and pick deterministically.
+        """
+        matcher = self._matcher
+        if isinstance(self._policy, FirstMatchPolicy) or not hasattr(
+            matcher, "enumerate_groups"
+        ):
+            group = matcher.find_group(trigger, pool, index)
+            if group is not None:
+                self.policy_statistics.record_first_match()
+            return group
+        limit = max(1, self.config.policy_candidate_limit)
+        candidates = list(matcher.enumerate_groups(trigger, pool, index, limit=limit))
+        if not candidates:
+            return None
+        decision = select_by_policy(
+            self._policy, candidates, self._policy_context(trigger, candidates)
+        )
+        self.policy_statistics.record(decision, truncated=len(candidates) >= limit)
+        return decision.group
+
+    def _policy_context(
+        self, trigger: ir.EntangledQuery, candidates: Sequence[MatchedGroup]
+    ) -> PolicyContext:
+        """Assemble the per-attempt context the policies score against."""
+        priorities: dict[str, float] = {}
+        registered_at: dict[str, float] = {}
+        # The request map is read under the base lock — sharded workers reach
+        # here holding shard locks only, and _finalize_outcome_locked already
+        # establishes the shard-locks-then-base-lock ordering.
+        with self._lock:
+            for group in candidates:
+                for query in group.queries:
+                    if query.query_id in priorities or query.query_id in registered_at:
+                        continue
+                    request = self._requests.get(query.query_id)
+                    if request is not None:
+                        registered_at[query.query_id] = request.registered_at
+                    if query.priority is not None:
+                        priorities[query.query_id] = float(query.priority)
+        return PolicyContext(
+            trigger_id=trigger.query_id,
+            now=time.time(),
+            priorities=priorities,
+            registered_at=registered_at,
+            cost_attribute=self.config.policy_cost_attribute,
+        )
 
     def _note_match_attempt(
         self, trigger: ir.EntangledQuery, group: Optional[MatchedGroup], pool_size: int
@@ -754,6 +826,8 @@ class Coordinator:
                 query = dataclasses.replace(
                     compile_entangled(str(sql), owner=owner), query_id=query_id
                 )
+                if state.get("priority") is not None:
+                    query = dataclasses.replace(query, priority=float(state["priority"]))
             except YoutopiaError:
                 query = None
         if query is None:
@@ -905,6 +979,10 @@ class Coordinator:
     def provider_index_size(self) -> int:
         with self._lock:
             return len(self._index)
+
+    def matching_statistics(self) -> dict[str, Any]:
+        """The match-policy stats block (policy name, limits, decision counters)."""
+        return self.policy_statistics.as_dict()
 
     def shard_stats(self) -> list[dict[str, int]]:
         """Per-shard introspection; the inline coordinator is one big shard."""

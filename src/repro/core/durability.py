@@ -486,6 +486,7 @@ def encode_request(request: "CoordinationRequest") -> dict[str, Any]:
         "status": request.status.value,
         "error": request.error,
         "sql": entangled_to_sql(request.query),
+        "priority": request.query.priority,
         "registered_at": request.registered_at,
         "answered_at": request.answered_at,
         "group": list(request.group_query_ids),
@@ -588,6 +589,7 @@ class DurabilityManager:
                 "query_id": request.query_id,
                 "owner": request.owner,
                 "sql": entangled_to_sql(request.query),
+                "priority": request.query.priority,
                 "registered_at": request.registered_at,
             },
         )
@@ -885,6 +887,7 @@ def apply_wal_record(system: "YoutopiaSystem", record: dict[str, Any]) -> None:
                 "owner": data.get("owner"),
                 "status": "pending",
                 "sql": data.get("sql"),
+                "priority": data.get("priority"),
                 "registered_at": data.get("registered_at"),
             }
         )

@@ -179,6 +179,9 @@ class EntangledQuery:
     choose: int = 1
     owner: Optional[str] = None
     sql: Optional[str] = None
+    # Optional per-query weight consumed by the ``priority`` match policy
+    # (larger wins).  ``None`` is treated as 0.0 by the policy layer.
+    priority: Optional[float] = None
 
     # -- introspection ----------------------------------------------------------
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Optional, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.core import ir
 from repro.errors import EntanglementError
@@ -164,13 +164,23 @@ class ProviderIndex:
     With ``use_constant_index=False`` the per-constant refinement is skipped
     and only the (relation, arity) bucket is used — this is the "naive" mode
     the ablation benchmark compares against.
+
+    Buckets are insertion-ordered dicts rather than sets, and ``candidates``
+    returns a list in the (relation, arity) bucket's insertion order — i.e.
+    query arrival order.  The same pool state therefore always produces the
+    same candidate sequence, which makes match selection reproducible across
+    runs (sets iterate in ``PYTHONHASHSEED``-dependent order).
     """
 
     def __init__(self, use_constant_index: bool = True) -> None:
         self.use_constant_index = use_constant_index
-        self._by_relation: dict[tuple[str, int], set[Provider]] = defaultdict(set)
-        self._by_constant: dict[tuple[str, int, int, Any], set[Provider]] = defaultdict(set)
-        self._by_variable_position: dict[tuple[str, int, int], set[Provider]] = defaultdict(set)
+        self._by_relation: dict[tuple[str, int], dict[Provider, None]] = defaultdict(dict)
+        self._by_constant: dict[tuple[str, int, int, Any], dict[Provider, None]] = defaultdict(
+            dict
+        )
+        self._by_variable_position: dict[tuple[str, int, int], dict[Provider, None]] = defaultdict(
+            dict
+        )
         self._atoms: dict[Provider, ir.Atom] = {}
 
     # -- maintenance ---------------------------------------------------------------
@@ -179,25 +189,25 @@ class ProviderIndex:
         for head_index, atom in enumerate(query.heads):
             provider = Provider(query.query_id, head_index)
             key = (atom.relation.lower(), atom.arity)
-            self._by_relation[key].add(provider)
+            self._by_relation[key][provider] = None
             self._atoms[provider] = atom
             for position, term in enumerate(atom.terms):
                 if isinstance(term, ir.Constant):
-                    self._by_constant[(*key, position, term.value)].add(provider)
+                    self._by_constant[(*key, position, term.value)][provider] = None
                 else:
-                    self._by_variable_position[(*key, position)].add(provider)
+                    self._by_variable_position[(*key, position)][provider] = None
 
     def remove_query(self, query: ir.EntangledQuery) -> None:
         for head_index, atom in enumerate(query.heads):
             provider = Provider(query.query_id, head_index)
             key = (atom.relation.lower(), atom.arity)
-            self._by_relation[key].discard(provider)
+            self._by_relation[key].pop(provider, None)
             self._atoms.pop(provider, None)
             for position, term in enumerate(atom.terms):
                 if isinstance(term, ir.Constant):
-                    self._by_constant[(*key, position, term.value)].discard(provider)
+                    self._by_constant[(*key, position, term.value)].pop(provider, None)
                 else:
-                    self._by_variable_position[(*key, position)].discard(provider)
+                    self._by_variable_position[(*key, position)].pop(provider, None)
 
     def __len__(self) -> int:
         return len(self._atoms)
@@ -207,23 +217,23 @@ class ProviderIndex:
     def atom_of(self, provider: Provider) -> ir.Atom:
         return self._atoms[provider]
 
-    def candidates(self, atom: ir.Atom) -> set[Provider]:
+    def candidates(self, atom: ir.Atom) -> list[Provider]:
         key = (atom.relation.lower(), atom.arity)
-        bucket = self._by_relation.get(key, set())
+        bucket = self._by_relation.get(key)
+        if not bucket:
+            return []
         if not self.use_constant_index:
-            return set(bucket)
-        result: set[Provider] | None = None
+            return list(bucket)
+        allowed: set[Provider] | None = None
         for position, value in atom.constants():
-            compatible = (
-                self._by_constant.get((*key, position, value), set())
-                | self._by_variable_position.get((*key, position), set())
-            )
-            result = compatible if result is None else (result & compatible)
-            if not result:
-                return set()
-        if result is None:
-            return set(bucket)
-        return result & bucket
+            compatible = set(self._by_constant.get((*key, position, value), ()))
+            compatible.update(self._by_variable_position.get((*key, position), ()))
+            allowed = compatible if allowed is None else (allowed & compatible)
+            if not allowed:
+                return []
+        if allowed is None:
+            return list(bucket)
+        return [provider for provider in bucket if provider in allowed]
 
 
 # ---------------------------------------------------------------------------
@@ -282,6 +292,24 @@ class MatchedGroup:
         return dict(contents)
 
 
+def _group_signature(group: MatchedGroup) -> tuple[Any, ...]:
+    """A hashable identity for a candidate group: members + induced head tuples.
+
+    Two structural search paths that reach the same member set with the same
+    grounded answer tuples are the same candidate for policy purposes, so
+    enumeration de-duplicates on this key.
+    """
+    parts = []
+    for answer in group.answers():
+        relations = tuple(
+            (relation, rows)
+            for relation, rows in sorted(answer.tuples.items(), key=lambda item: item[0])
+        )
+        parts.append((answer.query_id, relations))
+    parts.sort(key=lambda part: part[0])
+    return tuple(parts)
+
+
 # ---------------------------------------------------------------------------
 # The matcher
 # ---------------------------------------------------------------------------
@@ -315,9 +343,38 @@ class Matcher:
         ``pool`` must already contain the trigger (keyed by its query id) and
         ``index`` must cover exactly the queries in ``pool``.  Returns ``None``
         when no group can currently be formed — the trigger then stays pending.
+
+        This is the first element of :meth:`enumerate_groups`: the enumeration
+        is lazy, so taking only the first candidate performs exactly the work
+        the pre-enumeration search did (same node order, same rng draws, same
+        early exit on the first grounded group).
+        """
+        for matched in self.enumerate_groups(trigger, pool, index, limit=1):
+            return matched
+        return None
+
+    def enumerate_groups(
+        self,
+        trigger: ir.EntangledQuery,
+        pool: Mapping[str, ir.EntangledQuery],
+        index: ProviderIndex,
+        limit: Optional[int] = None,
+    ) -> Iterator[MatchedGroup]:
+        """Lazily yield distinct candidate match groups containing ``trigger``.
+
+        Groups are produced in search order (the order the backtracking search
+        discovers them) and de-duplicated on their induced answer tuples: two
+        structural paths that ground to the same members and the same head
+        tuples count once.  ``limit`` bounds how many groups are yielded — the
+        search stops as soon as the limit is reached, so enumeration cost is
+        proportional to the number of candidates actually requested.  All
+        yielded groups share one :class:`MatchStatistics` object describing
+        the whole enumeration.
         """
         if trigger.query_id not in pool:
             raise EntanglementError("the trigger query must be part of the pending pool")
+        if limit is not None and limit <= 0:
+            return
         statistics = MatchStatistics()
         domain_cache: dict[str, list[tuple[Any, ...]]] = {}
         unifier = Unifier()
@@ -327,9 +384,19 @@ class Matcher:
             for atom_index in range(len(trigger.answer_atoms))
         ]
         providers: dict[tuple[str, int], Provider] = {}
-        return self._search(
+        produced = 0
+        seen: set[tuple[Any, ...]] = set()
+        for matched in self._search(
             group, obligations, providers, unifier, pool, index, statistics, domain_cache
-        )
+        ):
+            key = _group_signature(matched)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield matched
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
 
     # -- structural phase -----------------------------------------------------------------
 
@@ -343,21 +410,20 @@ class Matcher:
         index: ProviderIndex,
         statistics: MatchStatistics,
         domain_cache: dict[str, list[tuple[Any, ...]]],
-    ) -> Optional[MatchedGroup]:
+    ) -> Iterator[MatchedGroup]:
         statistics.structural_nodes += 1
         if statistics.structural_nodes > self.max_structural_nodes:
-            return None
+            return
 
         if not obligations:
-            bindings = self._ground(list(group.values()), unifier, statistics, domain_cache)
-            if bindings is None:
-                return None
-            return MatchedGroup(
-                queries=list(group.values()),
-                bindings=bindings,
-                providers=dict(providers),
-                statistics=statistics,
-            )
+            for bindings in self._ground(list(group.values()), unifier, statistics, domain_cache):
+                yield MatchedGroup(
+                    queries=list(group.values()),
+                    bindings=bindings,
+                    providers=dict(providers),
+                    statistics=statistics,
+                )
+            return
 
         query_id, atom_index = obligations[-1]
         atom = group[query_id].answer_atoms[atom_index]
@@ -397,7 +463,7 @@ class Matcher:
                 ]
 
             providers[(query_id, atom_index)] = candidate
-            result = self._search(
+            yield from self._search(
                 new_group,
                 new_obligations,
                 providers,
@@ -407,12 +473,8 @@ class Matcher:
                 statistics,
                 domain_cache,
             )
-            if result is not None:
-                return result
             del providers[(query_id, atom_index)]
             unifier.undo_to(mark)
-
-        return None
 
     # -- grounding phase -------------------------------------------------------------------
 
@@ -422,12 +484,9 @@ class Matcher:
         unifier: Unifier,
         statistics: MatchStatistics,
         domain_cache: dict[str, list[tuple[Any, ...]]],
-    ) -> Optional[dict[str, list[dict[str, Any]]]]:
+    ) -> Iterator[dict[str, list[dict[str, Any]]]]:
         statistics.grounding_attempts += 1
-        assignments: dict[str, list[dict[str, Any]]] = {}
-        if self._assign_query(0, queries, unifier, {}, assignments, statistics, domain_cache):
-            return assignments
-        return None
+        yield from self._assign_query(0, queries, unifier, {}, {}, statistics, domain_cache)
 
     def _assign_query(
         self,
@@ -438,9 +497,15 @@ class Matcher:
         assignments: dict[str, list[dict[str, Any]]],
         statistics: MatchStatistics,
         domain_cache: dict[str, list[tuple[Any, ...]]],
-    ) -> bool:
+    ) -> Iterator[dict[str, list[dict[str, Any]]]]:
         if position == len(queries):
-            return True
+            # Snapshot: parent frames keep mutating ``assignments`` as the
+            # enumeration backtracks past this yield.
+            yield {
+                query_id: [dict(valuation) for valuation in chosen]
+                for query_id, chosen in assignments.items()
+            }
+            return
         query = queries[position]
 
         pre_bound: dict[str, Any] = {}
@@ -482,13 +547,10 @@ class Matcher:
                 chosen = [valuation] + extra[: query.choose - 1]
 
             assignments[query.query_id] = chosen
-            if self._assign_query(
+            yield from self._assign_query(
                 position + 1, queries, unifier, extended, assignments, statistics, domain_cache
-            ):
-                return True
+            )
             del assignments[query.query_id]
-
-        return False
 
     def _extra_choices(
         self,

@@ -1,0 +1,230 @@
+"""Match selection policies over enumerated candidate groups.
+
+The matcher (:mod:`repro.core.matching`) enumerates candidate match groups
+lazily; a *policy* chooses which of the enumerated candidates to commit.
+Conceptually this conditions the space of possible coordinated worlds the
+search discovers and picks one under a preference order — ranked marketplaces,
+wait-time fairness — without touching the search itself.
+
+Policies are pure: given the same candidate list and the same
+:class:`PolicyContext`, :func:`select` always returns the same decision.
+Every policy reduces to a sort key where *smaller is better*; exact key ties
+are broken deterministically by the group's sorted query-id tuple (then by
+enumeration order), so selection is reproducible across runs and across
+processes.
+
+The ``first_match`` policy is special-cased by the coordinator: it takes the
+first enumerated group without materialising any others, which is exactly the
+pre-policy behaviour (and the same cost).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.core.matching import MatchedGroup
+from repro.errors import EntanglementError
+
+DEFAULT_POLICY = "first_match"
+DEFAULT_CANDIDATE_LIMIT = 16
+DEFAULT_COST_ATTRIBUTE = "price"
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Everything a policy may consult besides the candidate groups themselves.
+
+    ``priorities`` and ``registered_at`` are keyed by query id; queries absent
+    from a mapping fall back to priority ``0.0`` / registration "now".
+    """
+
+    trigger_id: str
+    now: float = 0.0
+    priorities: Mapping[str, float] = field(default_factory=dict)
+    registered_at: Mapping[str, float] = field(default_factory=dict)
+    cost_attribute: str = DEFAULT_COST_ATTRIBUTE
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """The outcome of one :func:`select` call, for stats accounting."""
+
+    group: MatchedGroup
+    index: int
+    enumerated: int
+    tie_broken: bool
+
+
+@runtime_checkable
+class MatchPolicy(Protocol):
+    """A preference order over candidate groups.
+
+    ``key`` maps a group to a sort key where smaller is better.  Keys must be
+    derived only from the group and the context (no hidden state, no
+    randomness) so that selection stays deterministic.
+    """
+
+    name: str
+
+    def key(self, group: MatchedGroup, context: PolicyContext) -> tuple[Any, ...]: ...
+
+
+class FirstMatchPolicy:
+    """Take the first group the search discovers — the pre-policy default."""
+
+    name = "first_match"
+
+    def key(self, group: MatchedGroup, context: PolicyContext) -> tuple[Any, ...]:
+        return ()
+
+
+class PriorityPolicy:
+    """Maximise the summed per-query priority of the group's members.
+
+    Priorities arrive through ``SubmitRequest.priority`` (absent = ``0.0``).
+    """
+
+    name = "priority"
+
+    def key(self, group: MatchedGroup, context: PolicyContext) -> tuple[Any, ...]:
+        total = sum(context.priorities.get(query_id, 0.0) for query_id in group.query_ids)
+        return (-total,)
+
+
+class FairnessPolicy:
+    """Serve the longest-waiting query first.
+
+    The group whose oldest member registered earliest wins, so whenever the
+    oldest pending query appears in *any* enumerated candidate, the chosen
+    group contains it — the maximum wait-time left behind in the pool is
+    minimised and no query is starved by perpetually-fresher competitors.
+    """
+
+    name = "fairness"
+
+    def key(self, group: MatchedGroup, context: PolicyContext) -> tuple[Any, ...]:
+        oldest = min(
+            context.registered_at.get(query_id, context.now) for query_id in group.query_ids
+        )
+        return (oldest,)
+
+
+class MinCostPolicy:
+    """Minimise the summed numeric cost attribute over the chosen valuations.
+
+    The cost attribute (``SystemConfig.policy_cost_attribute``, default
+    ``price``) is looked up case-insensitively in each member's chosen
+    valuations; queries whose valuations never bind it contribute zero, so
+    the policy degrades gracefully on cost-free domains.
+    """
+
+    name = "min_cost"
+
+    def key(self, group: MatchedGroup, context: PolicyContext) -> tuple[Any, ...]:
+        return (group_cost(group, context.cost_attribute),)
+
+
+def group_cost(group: MatchedGroup, attribute: str) -> float:
+    """Sum the numeric values the group's valuations bind to ``attribute``."""
+    wanted = attribute.lower()
+    total = 0.0
+    for valuations in group.bindings.values():
+        for valuation in valuations:
+            for name, value in valuation.items():
+                if name.lower() != wanted:
+                    continue
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                total += float(value)
+    return total
+
+
+POLICIES: dict[str, type] = {
+    policy.name: policy
+    for policy in (FirstMatchPolicy, PriorityPolicy, FairnessPolicy, MinCostPolicy)
+}
+
+POLICY_NAMES: tuple[str, ...] = tuple(POLICIES)
+
+
+def get_policy(name: str) -> MatchPolicy:
+    """Instantiate a policy by name, raising on unknown names."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        known = ", ".join(POLICY_NAMES)
+        raise EntanglementError(f"unknown match policy {name!r} (known policies: {known})")
+    return factory()
+
+
+def _tie_break(group: MatchedGroup) -> tuple[str, ...]:
+    return tuple(sorted(group.query_ids))
+
+
+def select(
+    policy: MatchPolicy,
+    candidates: Sequence[MatchedGroup],
+    context: PolicyContext,
+) -> PolicyDecision:
+    """Choose one group from ``candidates`` under ``policy``.
+
+    Deterministic: argmin of ``policy.key``, exact-key ties broken by the
+    lexicographically smallest sorted query-id tuple, then by enumeration
+    order.  Raises when ``candidates`` is empty.
+    """
+    if not candidates:
+        raise EntanglementError("cannot select a match group from an empty candidate list")
+    keyed = [
+        (policy.key(group, context), index, group) for index, group in enumerate(candidates)
+    ]
+    best = min(key for key, _, _ in keyed)
+    tied = [(index, group) for key, index, group in keyed if key == best]
+    tie_broken = len(tied) > 1
+    index, group = min(tied, key=lambda entry: (_tie_break(entry[1]), entry[0]))
+    return PolicyDecision(
+        group=group, index=index, enumerated=len(candidates), tie_broken=tie_broken
+    )
+
+
+class PolicyStatistics:
+    """Thread-safe per-coordinator counters describing policy decisions."""
+
+    def __init__(self, policy: str, candidate_limit: int) -> None:
+        self.policy = policy
+        self.candidate_limit = candidate_limit
+        self._lock = threading.Lock()
+        self.decisions = 0
+        self.groups_enumerated = 0
+        self.groups_skipped = 0
+        self.ties_broken = 0
+        self.enumerations_truncated = 0
+
+    def record(self, decision: PolicyDecision, truncated: bool = False) -> None:
+        with self._lock:
+            self.decisions += 1
+            self.groups_enumerated += decision.enumerated
+            self.groups_skipped += decision.enumerated - 1
+            if decision.tie_broken:
+                self.ties_broken += 1
+            if truncated:
+                self.enumerations_truncated += 1
+
+    def record_first_match(self) -> None:
+        """Account a short-circuited first_match decision (one group, no skip)."""
+        with self._lock:
+            self.decisions += 1
+            self.groups_enumerated += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "policy": self.policy,
+                "candidate_limit": self.candidate_limit,
+                "decisions": self.decisions,
+                "groups_enumerated": self.groups_enumerated,
+                "groups_skipped": self.groups_skipped,
+                "ties_broken": self.ties_broken,
+                "enumerations_truncated": self.enumerations_truncated,
+            }

@@ -194,15 +194,19 @@ class _CompositePool:
 
 
 class _CompositeIndex:
-    """Probe-side union of several shards' provider indexes."""
+    """Probe-side union of several shards' provider indexes.
+
+    Candidates are concatenated in shard order (each shard's list is already
+    deterministic), so the global pass is as reproducible as the local one.
+    """
 
     def __init__(self, indexes: Sequence[ProviderIndex]) -> None:
         self._indexes = indexes
 
-    def candidates(self, atom: ir.Atom) -> set[Provider]:
-        found: set[Provider] = set()
+    def candidates(self, atom: ir.Atom) -> list[Provider]:
+        found: list[Provider] = []
         for index in self._indexes:
-            found |= index.candidates(atom)
+            found.extend(index.candidates(atom))
         return found
 
     def atom_of(self, provider: Provider) -> ir.Atom:
@@ -639,7 +643,7 @@ class ShardedCoordinator(Coordinator):
             trigger = shard.pool.get(query_id)
             if trigger is None:
                 return None
-            group = self._matcher.find_group(trigger, shard.pool, shard.index)
+            group = self._select_group(trigger, shard.pool, shard.index)
             self._note_match_attempt(trigger, group, pool_size=len(shard.pool))
             if group is not None:
                 return self._execute_group_sharded(group)
@@ -658,7 +662,7 @@ class ShardedCoordinator(Coordinator):
                 return None
             self.statistics.increment(cross_shard_passes=1)
             index = _CompositeIndex([candidate.index for candidate in self._all_shards])
-            group = self._matcher.find_group(trigger, pool, index)
+            group = self._select_group(trigger, pool, index)
             self._note_match_attempt(trigger, group, pool_size=len(pool))
             if group is not None:
                 return self._execute_group_sharded(group)

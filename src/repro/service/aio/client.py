@@ -516,6 +516,8 @@ class AsyncRemoteService:
                 query = dataclasses.replace(query, query_id=query_id)
             else:  # programmatically built server-side; carry the identity only
                 query = ir.EntangledQuery(query_id=query_id, heads=(), owner=owner)
+            if item.get("priority") is not None:
+                query = dataclasses.replace(query, priority=float(item["priority"]))
             pending.append(query)
         return pending
 

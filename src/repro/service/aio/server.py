@@ -553,6 +553,7 @@ class AsyncCoordinationServer(AsyncServerBase):
                     "query_id": query.query_id,
                     "owner": query.owner,
                     "sql": query.sql,
+                    "priority": query.priority,
                     "description": query.describe(),
                 }
                 for query in self.service.pending_queries()

@@ -56,13 +56,17 @@ class SubmitRequest:
 
     Exactly one of ``sql`` (transportable) or ``query`` (pre-compiled IR,
     in-process fast path) must be provided.  ``tag`` is an opaque client-side
-    correlation label echoed back on the returned handle.
+    correlation label echoed back on the returned handle.  ``priority`` is an
+    optional per-query weight consumed by the ``priority`` match policy
+    (larger wins); it is carried on the wire as an extra JSON key, so older
+    servers ignore it and absent means "no preference".
     """
 
     sql: Optional[str] = None
     query: Optional[ir.EntangledQuery] = None
     owner: Optional[str] = None
     tag: Optional[str] = None
+    priority: Optional[float] = None
 
     def __post_init__(self) -> None:
         if (self.sql is None) == (self.query is None):
@@ -169,6 +173,10 @@ class ServiceStats:
     :class:`~repro.cluster.router.ClusterRouter` — the member list with
     per-node shard counts, routed vs. cross-node submit counters and standby
     replication lag in LSNs); a single-node service reports an empty mapping.
+    ``matching`` describes match-group selection: the active policy name,
+    the candidate enumeration limit, and per-policy decision counters
+    (decisions, groups enumerated/skipped, ties broken) — see
+    :class:`~repro.core.policy.PolicyStatistics`.
     """
 
     counters: Mapping[str, int]
@@ -177,6 +185,7 @@ class ServiceStats:
     durability: Mapping[str, Any] = field(default_factory=lambda: {"enabled": False})
     transport: Mapping[str, int] = field(default_factory=dict)
     cluster: Mapping[str, Any] = field(default_factory=dict)
+    matching: Mapping[str, Any] = field(default_factory=dict)
 
     def __getitem__(self, key: str) -> int:
         return self.counters[key]

@@ -9,6 +9,7 @@ implement the same protocol against a remote system.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Optional, Sequence, Union
 
 from repro.core import ir
@@ -67,7 +68,11 @@ class InProcessService:
 
     def submit(self, request: Submittable, owner: Optional[str] = None) -> RequestHandle:
         """Submit one entangled query and return its future-style handle."""
-        query, owner, tag = self._normalize(request, owner)
+        query, owner, tag, priority = self._normalize(request, owner)
+        if priority is not None:
+            query = self._apply_priority(
+                Coordinator._coerce_query(query, owner), priority
+            )
         record = self.coordinator.submit(query, owner=owner)
         return RequestHandle(self.coordinator, record, tag=tag)
 
@@ -84,8 +89,11 @@ class InProcessService:
         compiled: list[ir.EntangledQuery] = []
         tags: list[Optional[str]] = []
         for request in requests:
-            query, item_owner, tag = self._normalize(request, owner)
-            compiled.append(Coordinator._coerce_query(query, item_owner))
+            query, item_owner, tag, priority = self._normalize(request, owner)
+            item = Coordinator._coerce_query(query, item_owner)
+            if priority is not None:
+                item = self._apply_priority(item, priority)
+            compiled.append(item)
             tags.append(tag)
         records = self.coordinator.submit_many(compiled)
         return [
@@ -96,10 +104,19 @@ class InProcessService:
     @staticmethod
     def _normalize(
         request: Submittable, owner: Optional[str]
-    ) -> tuple[Union[str, ast.EntangledSelect, ir.EntangledQuery], Optional[str], Optional[str]]:
+    ) -> tuple[
+        Union[str, ast.EntangledSelect, ir.EntangledQuery],
+        Optional[str],
+        Optional[str],
+        Optional[float],
+    ]:
         if isinstance(request, SubmitRequest):
-            return request.payload(), request.owner or owner, request.tag
-        return request, owner, None
+            return request.payload(), request.owner or owner, request.tag, request.priority
+        return request, owner, None, None
+
+    @staticmethod
+    def _apply_priority(query: ir.EntangledQuery, priority: float) -> ir.EntangledQuery:
+        return dataclasses.replace(query, priority=float(priority))
 
     # -- waiting / cancellation --------------------------------------------------------------
 
@@ -159,6 +176,7 @@ class InProcessService:
             shards=tuple(self.coordinator.shard_stats()),
             durability=self.system.durability_stats(),
             cluster=dict(cluster or {}),
+            matching=self.coordinator.matching_statistics(),
         )
 
     def drain(self, timeout: Optional[float] = None) -> bool:

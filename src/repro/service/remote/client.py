@@ -474,35 +474,45 @@ class RemoteService:
 
     @staticmethod
     def _wire_item(request: Submittable, owner: Optional[str]) -> tuple[dict[str, Any], Optional[str]]:
-        """``Submittable -> ({"sql", "owner", "query_id"?}, tag)``.
+        """``Submittable -> ({"sql", "owner", "query_id"?, "priority"?}, tag)``.
 
         SQL text travels as-is (the server compiles and assigns the id).  A
         pre-compiled :class:`~repro.core.ir.EntangledQuery` travels as its
         recorded SQL plus its client-side query id, which the server grafts
         back on, preserving id-based semantics (duplicate detection,
-        introspection) across the wire.
+        introspection) across the wire.  ``priority`` travels as an extra JSON
+        key only when set — older servers simply ignore it.
         """
         tag: Optional[str] = None
+        priority: Optional[float] = None
         if isinstance(request, SubmitRequest):
             tag = request.tag
             owner = request.owner or owner
+            priority = request.priority
             request = request.payload()
+        item: dict[str, Any]
         if isinstance(request, str):
-            return {"sql": request, "owner": owner}, tag
-        if isinstance(request, ast.EntangledSelect):
-            return {"sql": format_statement(request), "owner": owner}, tag
-        if isinstance(request, ir.EntangledQuery):
+            item = {"sql": request, "owner": owner}
+        elif isinstance(request, ast.EntangledSelect):
+            item = {"sql": format_statement(request), "owner": owner}
+        elif isinstance(request, ir.EntangledQuery):
             if not request.sql:
                 raise ProtocolError(
                     f"entangled query {request.query_id!r} was built programmatically and "
                     "records no SQL text; only SQL-backed queries can be submitted remotely"
                 )
-            return {
+            if priority is None:
+                priority = request.priority
+            item = {
                 "sql": request.sql,
                 "owner": request.owner or owner,
                 "query_id": request.query_id,
-            }, tag
-        raise ProtocolError(f"cannot submit a {type(request).__name__} over the wire")
+            }
+        else:
+            raise ProtocolError(f"cannot submit a {type(request).__name__} over the wire")
+        if priority is not None:
+            item["priority"] = float(priority)
+        return item, tag
 
     def submit(self, request: Submittable, owner: Optional[str] = None) -> RemoteHandle:
         """Submit one entangled query; returns a push-driven future handle."""
@@ -625,6 +635,8 @@ class RemoteService:
                 query = dataclasses.replace(query, query_id=query_id)
             else:  # programmatically built server-side; carry the identity only
                 query = ir.EntangledQuery(query_id=query_id, heads=(), owner=owner)
+            if item.get("priority") is not None:
+                query = dataclasses.replace(query, priority=float(item["priority"]))
             pending.append(query)
         return pending
 

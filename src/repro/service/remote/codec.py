@@ -370,6 +370,7 @@ def encode_request_state(record: Any) -> dict[str, Any]:
         "registered_at": record.registered_at,
         "answered_at": record.answered_at,
         "sql": record.query.sql,
+        "priority": record.query.priority,
         "description": record.query.describe(),
         "answer": None if record.answer is None else encode_answer(record.answer),
     }
@@ -385,6 +386,7 @@ def encode_stats(stats: Any, transport: Mapping[str, int]) -> dict[str, Any]:
         "durability": dict(stats.durability),
         "transport": dict(transport),
         "cluster": dict(getattr(stats, "cluster", None) or {}),
+        "matching": dict(getattr(stats, "matching", None) or {}),
     }
 
 
@@ -398,6 +400,7 @@ def decode_stats(payload: Mapping[str, Any]) -> Any:
         durability=dict(payload.get("durability") or {"enabled": False}),
         transport=dict(payload.get("transport") or {}),
         cluster=dict(payload.get("cluster") or {}),
+        matching=dict(payload.get("matching") or {}),
     )
 
 

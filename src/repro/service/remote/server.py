@@ -303,7 +303,7 @@ class CoordinationServer:
 
     @staticmethod
     def _compile_item(item: Any) -> Any:
-        """One wire submission ``{"sql", "owner", "query_id"?}`` → IR."""
+        """One wire submission ``{"sql", "owner", "query_id"?, "priority"?}`` → IR."""
         if not isinstance(item, dict):
             raise ProtocolError(f"submission items must be objects, got {type(item).__name__}")
         sql = item.get("sql")
@@ -313,6 +313,12 @@ class CoordinationServer:
         query_id = item.get("query_id")
         if query_id:
             query = dataclasses.replace(query, query_id=str(query_id))
+        priority = item.get("priority")
+        if priority is not None:
+            try:
+                query = dataclasses.replace(query, priority=float(priority))
+            except (TypeError, ValueError):
+                raise ProtocolError(f"submission priority must be numeric, got {priority!r}")
         return query
 
     def _op_hello(self, _connection: _ClientConnection) -> dict[str, Any]:
@@ -415,6 +421,7 @@ class CoordinationServer:
                 "query_id": query.query_id,
                 "owner": query.owner,
                 "sql": query.sql,
+                "priority": query.priority,
                 "description": query.describe(),
             }
             for query in self.service.pending_queries()

@@ -32,6 +32,7 @@ from service_conformance import (
     ConcurrencyConformance,
     IntrospectionConformance,
     PlainQueryConformance,
+    PolicyConformance,
     SubmissionConformance,
     fresh_owner,
     pair_sql,
@@ -100,6 +101,10 @@ class TestAsyncRemoteConcurrency(ConcurrencyConformance):
     pass
 
 
+class TestAsyncRemotePolicy(PolicyConformance):
+    pass
+
+
 # -- wire compatibility: the unchanged sync client against the asyncio server -------------------
 
 
@@ -131,6 +136,8 @@ class TestSyncClientInterop:
     test_duplicate = BatchConformance.test_duplicate_batch_handle_is_terminal_and_self_contained
     test_plain = PlainQueryConformance.test_relation_result_scalar_and_iteration
     test_introspection = IntrospectionConformance.test_requests_pending_and_retry
+    test_policy_priority = PolicyConformance.test_priority_round_trips_to_pending_pool
+    test_policy_stats = PolicyConformance.test_stats_expose_matching_policy_and_decisions
 
     def test_one_frame_per_batch_from_sync_client(self, sync_client_stack):
         _server, client = sync_client_stack

@@ -24,14 +24,17 @@ from service_conformance import (
     ConcurrencyConformance,
     IntrospectionConformance,
     PlainQueryConformance,
+    PolicyConformance,
     SubmissionConformance,
+    fresh_owner,
     pair_sql,
+    unmatchable_sql,
     wait_until,
 )
 from repro.core.compiler import compile_entangled
 from repro.core.coordinator import QueryStatus
 from repro.errors import EntanglementError
-from repro.service import SystemConfig
+from repro.service import SubmitRequest, SystemConfig
 from repro.service.remote import CoordinationServer, RemoteService
 from repro.cluster import (
     BackgroundClusterRouter,
@@ -95,6 +98,10 @@ class TestClusterIntrospection(IntrospectionConformance):
 
 
 class TestClusterConcurrency(ConcurrencyConformance):
+    pass
+
+
+class TestClusterPolicyConformance(PolicyConformance):
     pass
 
 
@@ -345,3 +352,80 @@ class TestClusterRouting:
         state = client.request(handle.query_id)
         assert state.status is QueryStatus.REJECTED
         assert "relocation to node" in (state.error or "")
+
+
+# -- match-policy config surviving the router fan-out -----------------------------------------
+
+
+def start_policy_cluster(policies: list[str]):
+    """One node per entry in ``policies``, each with that match policy."""
+    nodes = []
+    for policy in policies:
+        server = CoordinationServer(config=SystemConfig(seed=0, match_policy=policy))
+        server.start()
+        nodes.append(server)
+    placement = PlacementMap(
+        [NodeSpec(index, *server.address) for index, server in enumerate(nodes)]
+    )
+    router = BackgroundClusterRouter(placement)
+    router.start()
+    client = RemoteService.connect(*router.address)
+    client.execute_script(SETUP)
+    client.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+    return nodes, placement, router, client
+
+
+def stop_policy_cluster(nodes, router, client) -> None:
+    client.close()
+    router.stop()
+    for server in nodes:
+        server.stop()
+
+
+class TestClusterPolicy:
+    """Per-node policy config must survive the router: aggregated stats name
+    the policy, decision counters merge, and submission priority reaches the
+    member node that owns the query."""
+
+    def test_uniform_policy_surfaces_through_router_stats(self):
+        nodes, _placement, router, client = start_policy_cluster(["min_cost", "min_cost"])
+        try:
+            left, right = fresh_owner("ka"), fresh_owner("kb")
+            client.submit(pair_sql(left, right), owner=left)
+            handle = client.submit(pair_sql(right, left), owner=right)
+            handle.result(timeout=10.0)
+            matching = dict(client.stats().matching)
+            assert matching["policy"] == "min_cost"
+            assert matching["candidate_limit"] >= 1
+            assert matching["decisions"] >= 1
+            assert matching["groups_enumerated"] >= matching["decisions"]
+        finally:
+            stop_policy_cluster(nodes, router, client)
+
+    def test_mixed_policies_are_reported_as_mixed(self):
+        nodes, _placement, router, client = start_policy_cluster(["first_match", "fairness"])
+        try:
+            matching = dict(client.stats().matching)
+            assert matching["policy"] == "mixed"
+        finally:
+            stop_policy_cluster(nodes, router, client)
+
+    def test_priority_survives_fan_out_to_member_node(self):
+        nodes, _placement, router, client = start_policy_cluster(["priority", "priority"])
+        try:
+            owner = fresh_owner("kp")
+            handle = client.submit(
+                SubmitRequest(sql=unmatchable_sql(owner), owner=owner, priority=9.0)
+            )
+            # the router's merged pending view carries the wire priority ...
+            merged = {query.query_id: query for query in client.pending_queries()}
+            assert merged[handle.query_id].priority == 9.0
+            # ... and so does the owning member node's own pending pool
+            member_views = [
+                {query.query_id: query for query in server.service.pending_queries()}
+                for server in nodes
+            ]
+            (owning,) = [view for view in member_views if handle.query_id in view]
+            assert owning[handle.query_id].priority == 9.0
+        finally:
+            stop_policy_cluster(nodes, router, client)

@@ -26,6 +26,7 @@ from service_conformance import (
     ConcurrencyConformance,
     IntrospectionConformance,
     PlainQueryConformance,
+    PolicyConformance,
     SubmissionConformance,
     fresh_owner,
     pair_sql,
@@ -95,6 +96,10 @@ class TestRemoteIntrospection(IntrospectionConformance):
 
 
 class TestRemoteConcurrency(ConcurrencyConformance):
+    pass
+
+
+class TestRemotePolicy(PolicyConformance):
     pass
 
 

@@ -42,9 +42,12 @@ SHARD_COUNT = 2
 MATCH_WORKERS = 2
 
 
-def build_system(match_workers: int) -> YoutopiaSystem:
+def build_system(match_workers: int, match_policy: str = "first_match") -> YoutopiaSystem:
     config = SystemConfig(
-        seed=7, match_workers=match_workers, shard_count=SHARD_COUNT
+        seed=7,
+        match_workers=match_workers,
+        shard_count=SHARD_COUNT,
+        match_policy=match_policy,
     )
     system = YoutopiaSystem(config=config)
     system.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
@@ -185,3 +188,111 @@ def test_sharded_matching_is_group_equivalent_over_200_random_pools():
     assert total_groups > 100
     assert total_pending > 100
     assert total_cross_shard > 50
+
+
+# ---------------------------------------------------------------------------
+# Policy invariance: every selection policy answers the same partition as the
+# classic first-match search, and only ever commits *valid* groups.
+# ---------------------------------------------------------------------------
+
+POLICY_ROTATION = ("priority", "fairness", "min_cost")
+
+
+def assert_answered_groups_valid(system: YoutopiaSystem, pool_seed: int) -> int:
+    """Every committed group must satisfy each member's atoms.
+
+    For each answered group: every member's head atoms instantiated under its
+    chosen binding must be among the tuples that member contributed, and every
+    member's ``IN ANSWER`` constraint atoms must be satisfied by the union of
+    tuples the whole group contributed.  Returns the number of distinct
+    groups checked.
+    """
+    requests = {record.query_id: record for record in system.coordinator.requests()}
+    seen_groups: set[frozenset[str]] = set()
+    for record in requests.values():
+        if record.status is not QueryStatus.ANSWERED:
+            continue
+        group_ids = frozenset(record.group_query_ids)
+        if group_ids in seen_groups:
+            continue
+        seen_groups.add(group_ids)
+        members = [requests[query_id] for query_id in group_ids]
+        pool_tuples: dict[str, set[tuple]] = {}
+        for member in members:
+            assert member.answer is not None, f"pool {pool_seed}: answered without answer"
+            for relation, rows in member.answer.tuples.items():
+                pool_tuples.setdefault(relation.lower(), set()).update(rows)
+        for member in members:
+            binding = member.answer.binding
+            contributed = {
+                relation.lower(): set(rows)
+                for relation, rows in member.answer.tuples.items()
+            }
+            for atom in member.query.heads:
+                values = atom.substitute(binding)
+                assert values in contributed.get(atom.relation.lower(), set()), (
+                    f"pool {pool_seed}: head {atom.relation}{values} not contributed "
+                    f"by {member.query_id}"
+                )
+            for atom in member.query.answer_atoms:
+                values = atom.substitute(binding)
+                assert values in pool_tuples.get(atom.relation.lower(), set()), (
+                    f"pool {pool_seed}: constraint {atom.relation}{values} of "
+                    f"{member.query_id} unsatisfied by its group"
+                )
+    return len(seen_groups)
+
+
+def test_policies_are_partition_equivalent_over_200_random_pools():
+    """200 pools: first_match baseline ≡ each rotated policy, all groups valid.
+
+    Pools have a unique query-id partition (partners are named by distinct
+    constants), so a correct policy may pick *different bindings* but must
+    answer exactly the same groups and leave the same queries pending.
+    """
+    total_groups = 0
+    total_decisions = 0
+    total_enumerated = 0
+    total_skipped = 0
+    for seed in range(NUM_POOLS):
+        rng = random.Random(seed)
+        statements = PoolBuilder(rng).build()
+        policy = POLICY_ROTATION[seed % len(POLICY_ROTATION)]
+
+        baseline_system = build_system(match_workers=0)
+        policy_system = build_system(match_workers=0, match_policy=policy)
+        try:
+            compiled = [baseline_system.compile(sql) for sql in statements]
+            for query in compiled:
+                baseline_system.submit_entangled(query)
+            for query in compiled:
+                policy_system.submit_entangled(query)
+
+            baseline_groups, baseline_pending = outcome_partition(baseline_system)
+            policy_groups, policy_pending = outcome_partition(policy_system)
+            assert policy_groups == baseline_groups, (
+                f"pool {seed}: {policy} answered a different partition"
+            )
+            assert policy_pending == baseline_pending, (
+                f"pool {seed}: {policy} left a different pending set"
+            )
+
+            assert_answered_groups_valid(baseline_system, seed)
+            total_groups += assert_answered_groups_valid(policy_system, seed)
+
+            stats = policy_system.coordinator.matching_statistics()
+            assert stats["policy"] == policy
+            assert len(policy_groups) <= stats["decisions"]
+            total_decisions += stats["decisions"]
+            total_enumerated += stats["groups_enumerated"]
+            total_skipped += stats["groups_skipped"]
+        finally:
+            baseline_system.close()
+            policy_system.close()
+
+    # the differential pass must actually exercise bounded enumeration:
+    # several candidate groups per decision, with non-chosen ones skipped
+    assert total_groups > 100
+    assert total_decisions > 100
+    assert total_enumerated > total_decisions
+    assert total_skipped > 0

@@ -304,6 +304,55 @@ class IntrospectionConformance:
 
 
 # ---------------------------------------------------------------------------
+# Match policies: priority submissions and the matching statistics block
+# ---------------------------------------------------------------------------
+
+
+class PolicyConformance:
+    """Match-policy surface through the protocol: ``SubmitRequest.priority``
+    must round-trip to the pending pool on every transport, prioritised
+    submissions must coordinate exactly like plain ones, and ``stats()``
+    must expose the policy decision counters."""
+
+    def test_priority_round_trips_to_pending_pool(self, service):
+        owner = fresh_owner("pr")
+        handle = service.submit(
+            SubmitRequest(sql=unmatchable_sql(owner), owner=owner, priority=7.5)
+        )
+        pending = {query.query_id: query for query in service.pending_queries()}
+        assert pending[handle.query_id].priority == 7.5
+
+    def test_priority_defaults_to_absent(self, service):
+        owner = fresh_owner("pd")
+        handle = service.submit(SubmitRequest(sql=unmatchable_sql(owner), owner=owner))
+        pending = {query.query_id: query for query in service.pending_queries()}
+        assert pending[handle.query_id].priority is None
+
+    def test_prioritised_pair_coordinates_like_plain_pair(self, service):
+        left, right = fresh_owner("pl"), fresh_owner("pm")
+        first = service.submit(
+            SubmitRequest(sql=pair_sql(left, right), owner=left, priority=2.0)
+        )
+        second = service.submit(SubmitRequest(sql=pair_sql(right, left), owner=right))
+        envelope = first.result(timeout=5.0)
+        assert set(envelope.group) == {first.query_id, second.query_id}
+        assert second.result(timeout=5.0).owner == right
+
+    def test_stats_expose_matching_policy_and_decisions(self, service):
+        matching = dict(service.stats().matching)
+        assert matching["policy"] in {"first_match", "priority", "fairness", "min_cost"}
+        assert matching["candidate_limit"] >= 1
+        before = matching["decisions"]
+        left, right = fresh_owner("ps"), fresh_owner("pt")
+        service.submit(SubmitRequest(sql=pair_sql(left, right), owner=left))
+        handle = service.submit(SubmitRequest(sql=pair_sql(right, left), owner=right))
+        handle.result(timeout=5.0)
+        after = dict(service.stats().matching)
+        assert after["decisions"] >= before + 1
+        assert after["groups_enumerated"] >= after["decisions"]
+
+
+# ---------------------------------------------------------------------------
 # Concurrency: many client threads against one service
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,197 @@
+"""Property tests for the match-selection policy layer (hypothesis).
+
+The policies are pure functions over candidate groups plus a context; these
+tests pin the algebraic properties the rest of the system relies on:
+
+* determinism — the same candidates and context always produce the same
+  choice, independent of candidate enumeration order (for distinct groups);
+* ``min_cost`` optimality — the chosen group minimises the summed cost
+  attribute over the enumerated set;
+* ``fairness`` never starves the oldest query when it appears in any
+  candidate group;
+* ``priority`` breaks exact-score ties by the sorted query-id tuple.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ir
+from repro.core.matching import MatchedGroup
+from repro.core.policy import (
+    POLICY_NAMES,
+    FairnessPolicy,
+    MinCostPolicy,
+    PolicyContext,
+    PriorityPolicy,
+    get_policy,
+    group_cost,
+    select,
+)
+from repro.errors import EntanglementError
+
+
+def make_group(member_ids, cost_per_member=None):
+    """A synthetic candidate group; policies only look at ids and bindings."""
+    queries = [ir.EntangledQuery(query_id=query_id, heads=()) for query_id in member_ids]
+    bindings = {
+        query_id: [{"price": cost_per_member[query_id]}]
+        if cost_per_member and query_id in cost_per_member
+        else [{}]
+        for query_id in member_ids
+    }
+    return MatchedGroup(queries=queries, bindings=bindings, providers={})
+
+
+# Candidate lists whose member-id sets are pairwise distinct (enumeration
+# order must then never influence the choice).
+distinct_groups = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=20), min_size=1, max_size=4),
+    min_size=1,
+    max_size=6,
+    unique=True,
+).map(
+    lambda sets: [make_group(sorted(f"q{n:02d}" for n in members)) for members in sets]
+)
+
+
+def all_member_ids(groups):
+    return sorted({query_id for group in groups for query_id in group.query_ids})
+
+
+@st.composite
+def groups_with_context(draw):
+    groups = draw(distinct_groups)
+    members = all_member_ids(groups)
+    priorities = {
+        query_id: draw(
+            st.floats(min_value=-100, max_value=100, allow_nan=False)
+        )
+        for query_id in members
+    }
+    # Distinct wait times so "the oldest" is unambiguous.
+    offsets = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=len(members),
+            max_size=len(members),
+            unique=True,
+        )
+    )
+    registered_at = {
+        query_id: 1_000.0 + offset for query_id, offset in zip(members, offsets)
+    }
+    context = PolicyContext(
+        trigger_id=members[0],
+        now=100_000.0,
+        priorities=priorities,
+        registered_at=registered_at,
+    )
+    return groups, context
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @given(data=groups_with_context())
+    @settings(max_examples=60, deadline=None)
+    def test_same_candidates_same_choice(self, policy_name, data):
+        groups, context = data
+        policy = get_policy(policy_name)
+        first = select(policy, groups, context)
+        second = select(policy, groups, context)
+        assert first.group is second.group
+        assert first.index == second.index
+        assert first.tie_broken == second.tie_broken
+
+    @pytest.mark.parametrize("policy_name", ["priority", "fairness", "min_cost"])
+    @given(data=groups_with_context(), seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_choice_is_order_independent_for_distinct_groups(self, policy_name, data, seed):
+        import random
+
+        groups, context = data
+        policy = get_policy(policy_name)
+        baseline = select(policy, groups, context)
+        shuffled = list(groups)
+        random.Random(seed).shuffle(shuffled)
+        permuted = select(policy, shuffled, context)
+        assert sorted(permuted.group.query_ids) == sorted(baseline.group.query_ids)
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(EntanglementError):
+            select(get_policy("first_match"), [], PolicyContext(trigger_id="q"))
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(EntanglementError):
+            get_policy("round_robin")
+
+
+class TestMinCostOptimality:
+    @given(
+        sets=st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=15), min_size=1, max_size=3),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        ),
+        costs=st.dictionaries(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=1_000),
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_chosen_group_minimises_summed_cost(self, sets, costs):
+        groups = [
+            make_group(
+                sorted(f"q{n:02d}" for n in members),
+                cost_per_member={f"q{n:02d}": costs.get(n, 0) for n in members},
+            )
+            for members in sets
+        ]
+        context = PolicyContext(trigger_id=groups[0].query_ids[0])
+        decision = select(MinCostPolicy(), groups, context)
+        best = min(group_cost(group, context.cost_attribute) for group in groups)
+        assert group_cost(decision.group, context.cost_attribute) == best
+
+
+class TestFairnessNeverStarvesOldest:
+    @given(data=groups_with_context())
+    @settings(max_examples=80, deadline=None)
+    def test_oldest_member_is_served_when_reachable(self, data):
+        groups, context = data
+        members = all_member_ids(groups)
+        oldest = min(members, key=lambda query_id: context.registered_at[query_id])
+        decision = select(FairnessPolicy(), groups, context)
+        # Timestamps are distinct, so whenever the globally oldest query
+        # appears in any candidate group, the chosen group must contain it.
+        if any(oldest in group.query_ids for group in groups):
+            assert oldest in decision.group.query_ids
+
+
+class TestPriorityTieBreak:
+    @given(
+        shared=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        low=st.integers(min_value=0, max_value=9),
+        high=st.integers(min_value=10, max_value=19),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_ties_pick_smallest_query_id_tuple(self, shared, low, high):
+        first = make_group([f"q{low:02d}"])
+        second = make_group([f"q{high:02d}"])
+        context = PolicyContext(
+            trigger_id=first.query_ids[0],
+            priorities={first.query_ids[0]: shared, second.query_ids[0]: shared},
+        )
+        decision = select(PriorityPolicy(), [second, first], context)
+        assert decision.tie_broken
+        assert decision.group.query_ids == first.query_ids
+
+    def test_higher_priority_beats_query_id_order(self):
+        favourite = make_group(["q99"])
+        other = make_group(["q00"])
+        context = PolicyContext(trigger_id="q99", priorities={"q99": 5.0, "q00": 1.0})
+        decision = select(PriorityPolicy(), [other, favourite], context)
+        assert decision.group.query_ids == ["q99"]
+        assert not decision.tie_broken

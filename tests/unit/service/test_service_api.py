@@ -18,6 +18,7 @@ from service_conformance import (
     ConcurrencyConformance,
     IntrospectionConformance,
     PlainQueryConformance,
+    PolicyConformance,
     SubmissionConformance,
 )
 from repro.core.system import YoutopiaSystem
@@ -94,4 +95,8 @@ class TestIntrospection(IntrospectionConformance):
 
 
 class TestConcurrency(ConcurrencyConformance):
+    pass
+
+
+class TestPolicy(PolicyConformance):
     pass
