@@ -1,0 +1,212 @@
+"""Compiled match plans vs. interpreted matching, grid vs. single-key index.
+
+Two workloads, four configurations (``match_plan`` x ``provider_index``):
+
+* **multi-bound** (gated): permanently-pending grounding-fail pairs over an
+  arity-3 answer relation ``GridRes(traveler, city, fno)``.  Every head binds
+  ``traveler`` to a unique partner constant (tiny per-column buckets) and
+  ``city`` to the shared constant ``'Paris'`` (one huge bucket).  The legacy
+  single-key index intersects *sets* built from both columns and then scans
+  the whole relation bucket per probe; the grid index seeds from the most
+  selective column and touches O(1) providers.  Flight domains are disjoint
+  (ParisWest vs. ParisEast) so structural unification succeeds but grounding
+  always fails — pools stay pending and every ``retry_pending()`` sweep
+  re-runs the full match attempt, giving a stable hot loop to time.
+
+  Gate: ``compiled`` + ``grid`` must sustain >= 1.5x the match-attempt
+  throughput of ``interpreted`` + ``single_key`` (the ISSUE 9 acceptance
+  bar).  Attempt and pending counts must be identical across all four
+  configurations — the speedup must come from doing the same work faster,
+  never from doing less of it.
+
+* **unify-bound** (reported, not gated): ``P`` hub queries share the constant
+  head ``('hub', 'Paris', <fno>)`` so a single trigger probe yields ``P``
+  candidates under *both* indexes; each candidate costs one unification and
+  then dead-ends on a ghost partner.  This isolates the compiled-plan
+  contribution (interned constants + cached pair ops) from the index ablation.
+
+Set ``BENCH_MATCH_PLAN_JSON=/path/out.json`` to dump machine-readable results
+(consumed by the CI bench-trajectory job).
+
+Run with: PYTHONPATH=src python -m pytest benchmarks/bench_match_plan.py -v
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import SystemConfig, YoutopiaSystem
+
+CONFIGS = (
+    ("interpreted", "single_key"),
+    ("interpreted", "grid"),
+    ("compiled", "single_key"),
+    ("compiled", "grid"),
+)
+
+# The acceptance gate from ISSUE 9: compiled+grid vs. interpreted+single_key.
+GATE_MIN_SPEEDUP = 1.5
+
+MULTI_BOUND_PAIRS = 300
+MULTI_BOUND_SWEEPS = 3
+UNIFY_HUBS = 150
+UNIFY_TRIGGERS = 10
+UNIFY_SWEEPS = 3
+
+
+def entangled(user: str, partner: str, dest: str) -> str:
+    """Arity-3 coordination template with two bound head columns."""
+    return (
+        f"SELECT '{user}', 'Paris', fno INTO ANSWER GridRes "
+        f"WHERE fno IN (SELECT fno FROM Flights WHERE dest = '{dest}') "
+        f"AND ('{partner}', 'Paris', fno) IN ANSWER GridRes CHOOSE 1"
+    )
+
+
+def build_system(match_plan: str, provider_index: str) -> YoutopiaSystem:
+    config = SystemConfig(
+        seed=0,
+        match_plan=match_plan,
+        provider_index=provider_index,
+    )
+    system = YoutopiaSystem(config=config)
+    system.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
+    rows = [(fno, "ParisWest") for fno in range(1, 4)]
+    rows += [(fno, "ParisEast") for fno in range(4, 7)]
+    values = ", ".join(f"({fno}, '{dest}')" for fno, dest in rows)
+    system.execute(f"INSERT INTO Flights VALUES {values}")
+    system.declare_answer_relation(
+        "GridRes", ["traveler", "city", "fno"], ["TEXT", "TEXT", "INTEGER"]
+    )
+    return system
+
+
+def submit_multi_bound(system: YoutopiaSystem) -> None:
+    """300 grounding-fail pairs: disjoint flight domains keep them pending."""
+    queries = []
+    for i in range(MULTI_BOUND_PAIRS):
+        left, right = f"g{i}a", f"g{i}b"
+        queries.append(entangled(left, right, "ParisWest"))
+        queries.append(entangled(right, left, "ParisEast"))
+    system.submit_many(queries)
+
+
+def submit_unify_bound(system: YoutopiaSystem) -> None:
+    """P hub providers sharing one constant column + T triggers probing them."""
+    queries = [entangled("hub", f"ghost{i}", "ParisWest") for i in range(UNIFY_HUBS)]
+    queries += [entangled(f"trig{t}", "hub", "ParisEast") for t in range(UNIFY_TRIGGERS)]
+    system.submit_many(queries)
+
+
+# Named workloads shared with the cProfile harness (profile_matching.py).
+MATCH_PLAN_WORKLOADS = {
+    "multi_bound": submit_multi_bound,
+    "unify_bound": submit_unify_bound,
+}
+
+
+def timed_sweeps(system: YoutopiaSystem, sweeps: int) -> dict:
+    """Run retry sweeps over a permanently-pending pool; return throughput."""
+    before = system.statistics()["match_attempts"]
+    started = time.perf_counter()
+    for _ in range(sweeps):
+        system.coordinator.retry_pending()
+    elapsed = time.perf_counter() - started
+    attempts = system.statistics()["match_attempts"] - before
+    return {
+        "sweeps": sweeps,
+        "attempts": attempts,
+        "elapsed_s": round(elapsed, 6),
+        "attempts_per_s": round(attempts / elapsed, 2) if elapsed > 0 else 0.0,
+    }
+
+
+def run_workload(submit, sweeps: int) -> dict:
+    results = {}
+    for match_plan, provider_index in CONFIGS:
+        system = build_system(match_plan, provider_index)
+        try:
+            submit(system)
+            stats = timed_sweeps(system, sweeps)
+            stats["pending"] = system.coordinator.pending_count()
+            stats["answered"] = system.statistics()["queries_answered"]
+            matching = system.coordinator.matching_statistics()
+            if "plans_compiled" in matching:
+                stats["plans_compiled"] = matching["plans_compiled"]
+                stats["pair_ops_hits"] = matching["pair_ops_hits"]
+            results[f"{match_plan}_{provider_index}"] = stats
+        finally:
+            system.close()
+    return results
+
+
+def check_equivalence(results: dict) -> None:
+    """Every configuration must do identical work — only the speed may differ."""
+    baseline = results["interpreted_single_key"]
+    for name, stats in results.items():
+        assert stats["attempts"] == baseline["attempts"], (
+            f"{name}: attempts {stats['attempts']} != {baseline['attempts']}"
+        )
+        assert stats["pending"] == baseline["pending"], (
+            f"{name}: pending {stats['pending']} != {baseline['pending']}"
+        )
+        assert stats["answered"] == baseline["answered"], (
+            f"{name}: answered {stats['answered']} != {baseline['answered']}"
+        )
+
+
+def speedup(results: dict, fast: str, slow: str) -> float:
+    return round(results[fast]["attempts_per_s"] / results[slow]["attempts_per_s"], 3)
+
+
+def maybe_dump_json(payload: dict) -> None:
+    path = os.environ.get("BENCH_MATCH_PLAN_JSON")
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_match_plan_throughput(report) -> None:
+    multi = run_workload(submit_multi_bound, MULTI_BOUND_SWEEPS)
+    check_equivalence(multi)
+    assert multi["interpreted_single_key"]["pending"] == MULTI_BOUND_PAIRS * 2
+    assert multi["interpreted_single_key"]["answered"] == 0
+
+    unify = run_workload(submit_unify_bound, UNIFY_SWEEPS)
+    check_equivalence(unify)
+    assert unify["interpreted_single_key"]["answered"] == 0
+
+    gated = speedup(multi, "compiled_grid", "interpreted_single_key")
+    grid_only = speedup(multi, "interpreted_grid", "interpreted_single_key")
+    compiled_only = speedup(multi, "compiled_single_key", "interpreted_single_key")
+    unify_compiled = speedup(unify, "compiled_grid", "interpreted_grid")
+
+    payload = {
+        "experiment": "bench_match_plan",
+        "gate_min_speedup": GATE_MIN_SPEEDUP,
+        "multi_bound": multi,
+        "unify_bound": unify,
+        "speedup_compiled_grid": gated,
+        "speedup_grid_only": grid_only,
+        "speedup_compiled_only": compiled_only,
+        "unify_speedup_compiled": unify_compiled,
+    }
+    maybe_dump_json(payload)
+
+    report(
+        **{f"multi_{name}_aps": stats["attempts_per_s"] for name, stats in multi.items()},
+        speedup_compiled_grid=gated,
+        gate_min=GATE_MIN_SPEEDUP,
+        speedup_grid_only=grid_only,
+        speedup_compiled_only=compiled_only,
+        unify_speedup_compiled=unify_compiled,
+    )
+
+    assert gated >= GATE_MIN_SPEEDUP, (
+        f"compiled+grid speedup {gated} below gate {GATE_MIN_SPEEDUP} "
+        f"vs interpreted+single_key"
+    )

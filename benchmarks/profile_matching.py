@@ -1,0 +1,102 @@
+"""cProfile harness for the match hot path.
+
+Profiles retry sweeps over the permanently-pending benchmark workloads from
+:mod:`bench_match_plan`, so the flat profile shows exactly where match-attempt
+time goes under a chosen ``match_plan`` / ``provider_index`` configuration.
+
+Examples::
+
+    PYTHONPATH=src python benchmarks/profile_matching.py
+    PYTHONPATH=src python benchmarks/profile_matching.py \
+        --match-plan interpreted --provider-index single_key \
+        --workload unify_bound --sweeps 10 --top 40
+    PYTHONPATH=src python benchmarks/profile_matching.py --dump /tmp/match.prof
+
+Dumped stats files open with ``python -m pstats /tmp/match.prof`` or snakeviz
+(if installed locally; it is not a repo dependency).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_match_plan import (  # noqa: E402
+    MATCH_PLAN_WORKLOADS,
+    build_system,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--match-plan",
+        choices=("compiled", "interpreted"),
+        default="compiled",
+        help="match execution mode (default: compiled)",
+    )
+    parser.add_argument(
+        "--provider-index",
+        choices=("grid", "single_key"),
+        default="grid",
+        help="provider index implementation (default: grid)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=sorted(MATCH_PLAN_WORKLOADS),
+        default="multi_bound",
+        help="benchmark workload to profile (default: multi_bound)",
+    )
+    parser.add_argument(
+        "--sweeps", type=int, default=5, help="retry_pending sweeps to profile"
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        help="pstats sort key (default: cumulative; try tottime)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25, help="number of profile rows to print"
+    )
+    parser.add_argument(
+        "--dump",
+        metavar="PATH",
+        default=None,
+        help="also write raw pstats data to PATH for later inspection",
+    )
+    args = parser.parse_args(argv)
+
+    system = build_system(args.match_plan, args.provider_index)
+    try:
+        MATCH_PLAN_WORKLOADS[args.workload](system)
+        before = system.statistics()["match_attempts"]
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for _ in range(args.sweeps):
+            system.coordinator.retry_pending()
+        profiler.disable()
+
+        attempts = system.statistics()["match_attempts"] - before
+        print(
+            f"profiled {attempts} match attempts "
+            f"({args.sweeps} sweeps, workload={args.workload}, "
+            f"match_plan={args.match_plan}, provider_index={args.provider_index})\n"
+        )
+        stats = pstats.Stats(profiler)
+        stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+        if args.dump:
+            stats.dump_stats(args.dump)
+            print(f"raw profile written to {args.dump}")
+    finally:
+        system.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,8 @@ from repro.core import (
     EventBus,
     EventType,
     ExhaustiveEvaluator,
+    GridProviderIndex,
+    MatchPlanCache,
     MatchWorkerPool,
     MatchedGroup,
     Matcher,
@@ -98,8 +100,10 @@ __all__ = [
     "EventBus",
     "EventType",
     "ExhaustiveEvaluator",
+    "GridProviderIndex",
     "InProcessService",
     "IntrospectionService",
+    "MatchPlanCache",
     "MatchWorkerPool",
     "MatchedGroup",
     "Matcher",

@@ -237,6 +237,16 @@ class CommandLine:
                         skipped=matching.get("groups_skipped", 0),
                     )
                 )
+            if matching.get("match_plan"):
+                lines.append(
+                    "match_plan = {plan} (index={index}, plans_cached={cached}, "
+                    "pair_ops_hits={pair_hits})".format(
+                        plan=matching.get("match_plan"),
+                        index=matching.get("provider_index"),
+                        cached=matching.get("plans_cached", 0),
+                        pair_hits=matching.get("pair_ops_hits", 0),
+                    )
+                )
             return "\n".join(lines)
         if name == ".retry":
             answered = self.service.retry_pending()
@@ -309,6 +319,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="max candidate groups a non-first_match policy enumerates per "
         "match attempt",
+    )
+    serve.add_argument(
+        "--match-plan",
+        choices=["compiled", "interpreted"],
+        default="compiled",
+        help="structural matching execution: compiled (precompiled slot-"
+        "indexed match plans, the default) or interpreted (per-attempt term "
+        "interpretation, the differential-testing reference)",
+    )
+    serve.add_argument(
+        "--provider-index",
+        choices=["grid", "single_key"],
+        default="grid",
+        help="provider index backing candidate pruning: grid (multi-attribute "
+        "per-column buckets, the default) or single_key (classic single-"
+        "attribute refinement)",
     )
     serve.add_argument(
         "--cluster-node",
@@ -394,6 +420,8 @@ def build_server(
     standby_of: Optional[str] = None,
     match_policy: str = "first_match",
     policy_candidate_limit: int = 16,
+    match_plan: str = "compiled",
+    provider_index: str = "grid",
 ) -> Union[CoordinationServer, BackgroundAsyncServer]:
     """Assemble (and start) the server the ``serve`` sub-command runs.
 
@@ -454,6 +482,8 @@ def build_server(
         snapshot_interval=snapshot_interval,
         match_policy=match_policy,
         policy_candidate_limit=policy_candidate_limit,
+        match_plan=match_plan,
+        provider_index=provider_index,
     )
     service = InProcessService(config=config)
     if cluster_node is not None:
@@ -583,6 +613,8 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
             standby_of=args.standby_of,
             match_policy=args.match_policy,
             policy_candidate_limit=args.policy_candidate_limit,
+            match_plan=args.match_plan,
+            provider_index=args.provider_index,
         )
         transport_label = "standby" if args.standby_of else args.transport
         system = server.service.system

@@ -26,6 +26,7 @@ from repro.core.durability import (
 from repro.core.events import Event, EventBus, EventType
 from repro.core.executor import ExecutionOutcome, JointExecutor
 from repro.core.matching import MatchedGroup, Matcher, ProviderIndex, Unifier
+from repro.core.matchplan import GridProviderIndex, MatchPlanCache, QueryPlan
 from repro.core.safety import AnalysisReport, analyze, check
 from repro.core.session import YoutopiaSession
 from repro.core.sharding import (
@@ -54,11 +55,14 @@ __all__ = [
     "EventType",
     "ExecutionOutcome",
     "ExhaustiveEvaluator",
+    "GridProviderIndex",
     "JointExecutor",
+    "MatchPlanCache",
     "MatchWorkerPool",
     "MatchedGroup",
     "Matcher",
     "ProviderIndex",
+    "QueryPlan",
     "QueryShard",
     "QueryStatus",
     "RecoveryReport",

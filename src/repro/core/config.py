@@ -92,6 +92,23 @@ class SystemConfig:
     policy_cost_attribute:
         Variable name (case-insensitive) the ``min_cost`` policy sums over
         each group's chosen valuations.
+    match_plan:
+        How the structural matching phase executes: ``"compiled"`` (the
+        default) precompiles each query into a slot-indexed match plan
+        (:mod:`repro.core.matchplan`) — interned constants, positional slot
+        arrays and memoized per-pair unification programs — while
+        ``"interpreted"`` keeps the original per-attempt term interpretation.
+        Both modes find identical groups; the interpreted path exists for
+        differential testing and as the semantic reference.
+    provider_index:
+        Which provider index backs candidate pruning: ``"grid"`` (the
+        default) uses the grid-file-style multi-attribute index that
+        intersects per-column ordered buckets over *every* bound column;
+        ``"single_key"`` keeps the classic index that refines on one
+        (relation, constant-position) bucket chain and rescans the relation
+        bucket to restore arrival order.  Candidate order is identical in
+        both.  ``use_constant_index=False`` degrades either index to the
+        naive (relation, arity) scan.
     """
 
     seed: Optional[int] = None
@@ -110,6 +127,8 @@ class SystemConfig:
     match_policy: str = "first_match"
     policy_candidate_limit: int = 16
     policy_cost_attribute: str = "price"
+    match_plan: str = "compiled"
+    provider_index: str = "grid"
 
     @property
     def resolved_shard_count(self) -> int:
@@ -141,4 +160,6 @@ class SystemConfig:
             "match_policy": self.match_policy,
             "policy_candidate_limit": self.policy_candidate_limit,
             "policy_cost_attribute": self.policy_cost_attribute,
+            "match_plan": self.match_plan,
+            "provider_index": self.provider_index,
         }

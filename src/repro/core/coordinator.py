@@ -37,7 +37,8 @@ from repro.core.compiler import compile_entangled
 from repro.core.config import SystemConfig
 from repro.core.events import EventBus, EventType
 from repro.core.executor import ExecutionOutcome, JointExecutor
-from repro.core.matching import MatchedGroup, Matcher, ProviderIndex
+from repro.core.matching import MatchedGroup, Matcher, build_provider_index
+from repro.core.matchplan import MATCH_PLAN_MODES, MatchPlanCache
 from repro.core.policy import (
     FirstMatchPolicy,
     PolicyContext,
@@ -133,13 +134,26 @@ class Coordinator:
         self.statistics = CoordinationStatistics()
         self.rng = rng or random.Random()
 
+        if config.match_plan not in MATCH_PLAN_MODES:
+            known = ", ".join(MATCH_PLAN_MODES)
+            raise EntanglementError(
+                f"unknown match_plan {config.match_plan!r} (known modes: {known})"
+            )
         if config.use_exhaustive_baseline:
             self._matcher: Union[Matcher, ExhaustiveEvaluator] = ExhaustiveEvaluator(
                 engine, rng=self.rng, max_group_size=min(config.max_group_size, 5)
             )
         else:
-            self._matcher = Matcher(engine, rng=self.rng, max_group_size=config.max_group_size)
-        self._index = ProviderIndex(use_constant_index=config.use_constant_index)
+            self._matcher = Matcher(
+                engine,
+                rng=self.rng,
+                max_group_size=config.max_group_size,
+                compile_plans=config.match_plan == "compiled",
+            )
+        # build_provider_index validates config.provider_index as a side effect.
+        self._index = build_provider_index(
+            config.provider_index, use_constant_index=config.use_constant_index
+        )
 
         # Match-selection policy (validated here so a bad name fails at
         # construction, not on the first match attempt).
@@ -505,6 +519,32 @@ class Coordinator:
         """Drop an answered query from pending bookkeeping (lock held)."""
         query = self._pool.pop(query_id)
         self._index.remove_query(query)
+        self._evict_match_plan(query_id)
+
+    # -- match-plan cache lifecycle ----------------------------------------------------
+
+    @property
+    def _plan_cache(self) -> Optional[MatchPlanCache]:
+        """The matcher's compiled-plan cache (``None`` when interpreted/baseline)."""
+        return getattr(self._matcher, "plan_cache", None)
+
+    def _evict_match_plan(self, query_id: str) -> None:
+        """Free a departed query's compiled plan (derived state, never journaled)."""
+        cache = self._plan_cache
+        if cache is not None:
+            cache.evict(query_id)
+
+    def invalidate_match_plans(self) -> None:
+        """Drop every compiled plan (answer-relation declarations call this).
+
+        Plans are rebuilt lazily on the next match attempt, so invalidation
+        is cheap and guarantees no plan outlives the relation metadata it was
+        compiled against.
+        """
+        cache = self._plan_cache
+        if cache is not None:
+            with self._lock:
+                cache.invalidate_all()
 
     def _finalize_outcome_locked(self, outcome: ExecutionOutcome) -> ExecutionOutcome:
         """Mark every group member answered and notify observers (lock held)."""
@@ -981,8 +1021,19 @@ class Coordinator:
             return len(self._index)
 
     def matching_statistics(self) -> dict[str, Any]:
-        """The match-policy stats block (policy name, limits, decision counters)."""
-        return self.policy_statistics.as_dict()
+        """The match-policy stats block plus match-plan / index configuration.
+
+        Numeric plan-cache counters merge additively across cluster nodes;
+        the ``match_plan`` / ``provider_index`` strings are reported like the
+        policy name (``"mixed"`` when nodes disagree).
+        """
+        stats = self.policy_statistics.as_dict()
+        stats["match_plan"] = self.config.match_plan
+        stats["provider_index"] = self.config.provider_index
+        cache = self._plan_cache
+        if cache is not None:
+            stats.update(cache.statistics())
+        return stats
 
     def shard_stats(self) -> list[dict[str, int]]:
         """Per-shard introspection; the inline coordinator is one big shard."""

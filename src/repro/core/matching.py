@@ -31,9 +31,17 @@ from __future__ import annotations
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.core import ir
+from repro.core.matchplan import (
+    CompiledAtom,
+    GridProviderIndex,
+    MatchPlanCache,
+    Provider,
+    QueryPlan,
+    apply_pair,
+)
 from repro.errors import EntanglementError
 from repro.relalg.engine import QueryEngine
 from repro.relalg.rows import RowEnv
@@ -43,6 +51,19 @@ from repro.sqlparser.pretty import format_statement
 VarNode = tuple[str, str]
 
 _UNBOUND = object()
+
+__all__ = [
+    "GridProviderIndex",
+    "MatchPlanCache",
+    "MatchStatistics",
+    "MatchedGroup",
+    "Matcher",
+    "Provider",
+    "ProviderIndex",
+    "Unifier",
+    "VarNode",
+    "build_provider_index",
+]
 
 
 class Unifier:
@@ -145,14 +166,8 @@ class Unifier:
 # ---------------------------------------------------------------------------
 # Provider index
 # ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class Provider:
-    """A head atom that can satisfy answer constraints: (query, head position)."""
-
-    query_id: str
-    head_index: int
+# ``Provider`` itself is defined in repro.core.matchplan (the grid index needs
+# it without importing this module) and re-exported here for compatibility.
 
 
 class ProviderIndex:
@@ -235,6 +250,43 @@ class ProviderIndex:
             return list(bucket)
         return [provider for provider in bucket if provider in allowed]
 
+    def candidates_compiled(self, probe: CompiledAtom) -> list[Provider]:
+        """Probe with a :class:`~repro.core.matchplan.CompiledAtom`.
+
+        Same result (members and order) as :meth:`candidates` on the original
+        atom; the compiled form just skips re-deriving the relation key and
+        constant positions per attempt.
+        """
+        key = probe.key
+        bucket = self._by_relation.get(key)
+        if not bucket:
+            return []
+        if not self.use_constant_index or not probe.const_items:
+            return list(bucket)
+        allowed: set[Provider] | None = None
+        for position, value in probe.const_items:
+            compatible = set(self._by_constant.get((*key, position, value), ()))
+            compatible.update(self._by_variable_position.get((*key, position), ()))
+            allowed = compatible if allowed is None else (allowed & compatible)
+            if not allowed:
+                return []
+        assert allowed is not None
+        return [provider for provider in bucket if provider in allowed]
+
+
+def build_provider_index(
+    kind: str, use_constant_index: bool = True
+) -> Union[ProviderIndex, GridProviderIndex]:
+    """Construct the provider index selected by ``SystemConfig.provider_index``."""
+    if kind == "grid":
+        return GridProviderIndex(use_constant_index=use_constant_index)
+    if kind == "single_key":
+        return ProviderIndex(use_constant_index=use_constant_index)
+    from repro.core.matchplan import PROVIDER_INDEX_KINDS
+
+    known = ", ".join(PROVIDER_INDEX_KINDS)
+    raise EntanglementError(f"unknown provider_index {kind!r} (known kinds: {known})")
+
 
 # ---------------------------------------------------------------------------
 # Match results and statistics
@@ -316,7 +368,18 @@ def _group_signature(group: MatchedGroup) -> tuple[Any, ...]:
 
 
 class Matcher:
-    """Implements the two-phase (unification + grounding) matching algorithm."""
+    """Implements the two-phase (unification + grounding) matching algorithm.
+
+    With ``compile_plans=True`` (the default) the structural phase runs over
+    precompiled :class:`~repro.core.matchplan.QueryPlan` objects: candidate
+    probes use the precomputed relation key and constant positions, and each
+    (probe atom, provider atom) unification executes a memoized
+    :class:`~repro.core.matchplan.PairOps` program instead of re-interpreting
+    the terms.  ``compile_plans=False`` keeps the original per-attempt
+    interpretation — retained behind ``SystemConfig(match_plan="interpreted")``
+    for differential testing.  Both paths return identical candidate lists,
+    consume the RNG identically and therefore find identical groups.
+    """
 
     def __init__(
         self,
@@ -324,11 +387,16 @@ class Matcher:
         rng: Optional[random.Random] = None,
         max_group_size: int = 32,
         max_structural_nodes: int = 200_000,
+        compile_plans: bool = True,
+        plan_cache: Optional[MatchPlanCache] = None,
     ) -> None:
         self.engine = engine
         self.rng = rng or random.Random()
         self.max_group_size = max_group_size
         self.max_structural_nodes = max_structural_nodes
+        self.plan_cache: Optional[MatchPlanCache] = (
+            (plan_cache or MatchPlanCache()) if compile_plans else None
+        )
 
     # -- public API --------------------------------------------------------------------
 
@@ -426,8 +494,18 @@ class Matcher:
             return
 
         query_id, atom_index = obligations[-1]
-        atom = group[query_id].answer_atoms[atom_index]
-        candidates = index.candidates(atom)
+        cache = self.plan_cache
+        probe: Optional[CompiledAtom] = None
+        if cache is not None:
+            probe = cache.plan_for(group[query_id]).answer_atoms[atom_index]
+            compiled_lookup = getattr(index, "candidates_compiled", None)
+            if compiled_lookup is not None:
+                candidates = compiled_lookup(probe)
+            else:  # custom index without a compiled probe surface
+                candidates = index.candidates(probe.atom)
+        else:
+            atom = group[query_id].answer_atoms[atom_index]
+            candidates = index.candidates(atom)
         statistics.candidate_providers += len(candidates)
 
         in_group = [candidate for candidate in candidates if candidate.query_id in group]
@@ -447,8 +525,15 @@ class Matcher:
 
             mark = unifier.mark()
             statistics.unification_attempts += 1
-            head_atom = provider_query.heads[candidate.head_index]
-            if not unifier.unify_atoms(query_id, atom, candidate.query_id, head_atom):
+            if cache is not None and probe is not None:
+                head = cache.plan_for(provider_query).heads[candidate.head_index]
+                unified = apply_pair(unifier, cache.pair_ops(probe, head))
+            else:
+                head_atom = provider_query.heads[candidate.head_index]
+                unified = unifier.unify_atoms(
+                    query_id, atom, candidate.query_id, head_atom
+                )
+            if not unified:
                 unifier.undo_to(mark)
                 continue
 
@@ -486,12 +571,17 @@ class Matcher:
         domain_cache: dict[str, list[tuple[Any, ...]]],
     ) -> Iterator[dict[str, list[dict[str, Any]]]]:
         statistics.grounding_attempts += 1
-        yield from self._assign_query(0, queries, unifier, {}, {}, statistics, domain_cache)
+        cache = self.plan_cache
+        plans = None if cache is None else [cache.plan_for(query) for query in queries]
+        yield from self._assign_query(
+            0, queries, plans, unifier, {}, {}, statistics, domain_cache
+        )
 
     def _assign_query(
         self,
         position: int,
         queries: list[ir.EntangledQuery],
+        plans: Optional[list[QueryPlan]],
         unifier: Unifier,
         class_values: dict[VarNode, Any],
         assignments: dict[str, list[dict[str, Any]]],
@@ -507,10 +597,15 @@ class Matcher:
             }
             return
         query = queries[position]
+        plan = plans[position] if plans is not None else None
 
         pre_bound: dict[str, Any] = {}
-        for name in query.variables():
-            node = (query.query_id, name)
+        var_items: Iterable[tuple[str, VarNode]]
+        if plan is not None:
+            var_items = plan.var_items
+        else:
+            var_items = ((name, (query.query_id, name)) for name in query.variables())
+        for name, node in var_items:
             constant = unifier.value_of(node)
             if constant is not _UNBOUND:
                 pre_bound[name] = constant
@@ -522,11 +617,12 @@ class Matcher:
         valuations = self._enumerate_valuations(query, pre_bound, statistics, domain_cache)
         self.rng.shuffle(valuations)
 
+        node_map = plan.node_map if plan is not None else None
         for valuation in valuations:
             extended = dict(class_values)
             consistent = True
             for name, value in valuation.items():
-                node = (query.query_id, name)
+                node = node_map[name] if node_map is not None else (query.query_id, name)
                 constant = unifier.value_of(node)
                 if constant is not _UNBOUND and constant != value:
                     consistent = False
@@ -548,7 +644,14 @@ class Matcher:
 
             assignments[query.query_id] = chosen
             yield from self._assign_query(
-                position + 1, queries, unifier, extended, assignments, statistics, domain_cache
+                position + 1,
+                queries,
+                plans,
+                unifier,
+                extended,
+                assignments,
+                statistics,
+                domain_cache,
             )
             del assignments[query.query_id]
 

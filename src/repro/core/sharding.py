@@ -62,7 +62,8 @@ from repro.core import ir
 from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
 from repro.core.events import EventType
 from repro.core.executor import ExecutionOutcome
-from repro.core.matching import MatchedGroup, ProviderIndex, Provider
+from repro.core.matching import MatchedGroup, ProviderIndex, Provider, build_provider_index
+from repro.core.matchplan import CompiledAtom, GridProviderIndex
 from repro.errors import (
     EntanglementError,
     QueryAlreadyAnsweredError,
@@ -152,11 +153,18 @@ class QueryShard:
     are guarded by its condition variable instead.
     """
 
-    def __init__(self, shard_id: int, use_constant_index: bool = True) -> None:
+    def __init__(
+        self,
+        shard_id: int,
+        use_constant_index: bool = True,
+        provider_index: str = "single_key",
+    ) -> None:
         self.shard_id = shard_id
         self.lock = threading.RLock()
         self.pool: dict[str, ir.EntangledQuery] = {}
-        self.index = ProviderIndex(use_constant_index=use_constant_index)
+        self.index: Union[ProviderIndex, GridProviderIndex] = build_provider_index(
+            provider_index, use_constant_index=use_constant_index
+        )
         self.dirty = False
         self.dirty_since = 0.0
         # Scheduling state, owned by the worker pool.
@@ -200,13 +208,19 @@ class _CompositeIndex:
     deterministic), so the global pass is as reproducible as the local one.
     """
 
-    def __init__(self, indexes: Sequence[ProviderIndex]) -> None:
+    def __init__(self, indexes: Sequence[Union[ProviderIndex, GridProviderIndex]]) -> None:
         self._indexes = indexes
 
     def candidates(self, atom: ir.Atom) -> list[Provider]:
         found: list[Provider] = []
         for index in self._indexes:
             found.extend(index.candidates(atom))
+        return found
+
+    def candidates_compiled(self, probe: CompiledAtom) -> list[Provider]:
+        found: list[Provider] = []
+        for index in self._indexes:
+            found.extend(index.candidates_compiled(probe))
         return found
 
     def atom_of(self, provider: Provider) -> ir.Atom:
@@ -424,13 +438,19 @@ class ShardedCoordinator(Coordinator):
             raise ValueError("ShardedCoordinator requires config.match_workers >= 1")
         self._shard_count = self.config.resolved_shard_count
         self._shards = [
-            QueryShard(i, use_constant_index=self.config.use_constant_index)
+            QueryShard(
+                i,
+                use_constant_index=self.config.use_constant_index,
+                provider_index=self.config.provider_index,
+            )
             for i in range(self._shard_count)
         ]
         # Cross-shard queries live here; ordered last so the global pass can
         # take every lock in ascending shard_id order.
         self._global_shard = QueryShard(
-            self._shard_count, use_constant_index=self.config.use_constant_index
+            self._shard_count,
+            use_constant_index=self.config.use_constant_index,
+            provider_index=self.config.provider_index,
         )
         self._all_shards = self._shards + [self._global_shard]
         self._db_lock = threading.RLock()
@@ -567,6 +587,7 @@ class ShardedCoordinator(Coordinator):
         shard = self.shard_of(self._requests[query_id].query)
         query = shard.pool.pop(query_id)
         shard.index.remove_query(query)
+        self._evict_match_plan(query_id)
 
     # -- deferred completion callbacks ---------------------------------------------------
 
@@ -730,6 +751,7 @@ class ShardedCoordinator(Coordinator):
                     self.journal.log_cancel(query_id)
                 query = shard.pool.pop(query_id)
                 shard.index.remove_query(query)
+                self._evict_match_plan(query_id)
                 self._cancel_registered_locked(request)
         self._maybe_checkpoint()
 
@@ -768,6 +790,7 @@ class ShardedCoordinator(Coordinator):
         query = shard.pool.pop(query_id, None)
         if query is not None:
             shard.index.remove_query(query)
+            self._evict_match_plan(query_id)
 
     def mark_all_dirty(self) -> None:
         """Arm retry sweeps on every populated shard (end of recovery).

@@ -280,6 +280,9 @@ class YoutopiaSystem:
     ) -> None:
         def apply() -> None:
             self.answer_relations.declare(name, columns=columns, types=types, arity=arity)
+            # Compiled match plans may embed assumptions about the relation's
+            # metadata; a (re)declaration drops them all (rebuilt lazily).
+            self.coordinator.invalidate_match_plans()
 
         if self.durability is not None:
             self.durability.journaled_declare(name, columns, types, arity, apply)

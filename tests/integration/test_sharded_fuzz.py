@@ -42,12 +42,15 @@ SHARD_COUNT = 2
 MATCH_WORKERS = 2
 
 
-def build_system(match_workers: int, match_policy: str = "first_match") -> YoutopiaSystem:
+def build_system(
+    match_workers: int, match_policy: str = "first_match", **config_kwargs
+) -> YoutopiaSystem:
     config = SystemConfig(
         seed=7,
         match_workers=match_workers,
         shard_count=SHARD_COUNT,
         match_policy=match_policy,
+        **config_kwargs,
     )
     system = YoutopiaSystem(config=config)
     system.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
@@ -296,3 +299,87 @@ def test_policies_are_partition_equivalent_over_200_random_pools():
     assert total_decisions > 100
     assert total_enumerated > total_decisions
     assert total_skipped > 0
+
+
+# ---------------------------------------------------------------------------
+# Match-execution invariance: compiled plans and the grid index are pure
+# speedups — every (match_plan, provider_index) combination answers the same
+# partition AND commits byte-identical tuples, under every selection policy.
+# ---------------------------------------------------------------------------
+
+MATCH_EXECUTION_COMBOS = (
+    ("compiled", "grid"),
+    ("compiled", "single_key"),
+    ("interpreted", "grid"),
+)
+ALL_POLICIES = ("first_match",) + POLICY_ROTATION
+
+
+def committed_answers(system: YoutopiaSystem) -> dict[str, list[tuple]]:
+    return {relation: system.answers(relation) for relation in RELATIONS}
+
+
+def test_match_plans_and_indexes_are_answer_equivalent_over_200_random_pools():
+    """200 pools: interpreted+single_key reference ≡ the other three combos.
+
+    Candidate enumeration order is insertion order under both indexes and the
+    compiled path consumes the match RNG identically, so the committed answer
+    tuples — not just the query-id partition — must match *exactly*, in order,
+    for every rotation of the selection policy.
+    """
+    total_groups = 0
+    total_pending = 0
+    total_plans_compiled = 0
+    for seed in range(NUM_POOLS):
+        rng = random.Random(seed)
+        statements = PoolBuilder(rng).build()
+        policy = ALL_POLICIES[seed % len(ALL_POLICIES)]
+
+        reference = build_system(
+            match_workers=0,
+            match_policy=policy,
+            match_plan="interpreted",
+            provider_index="single_key",
+        )
+        try:
+            compiled_ir = [reference.compile(sql) for sql in statements]
+            for query in compiled_ir:
+                reference.submit_entangled(query)
+            reference_groups, reference_pending = outcome_partition(reference)
+            reference_answers = committed_answers(reference)
+            assert_answered_groups_valid(reference, seed)
+            total_groups += len(reference_groups)
+            total_pending += len(reference_pending)
+
+            for match_plan, provider_index in MATCH_EXECUTION_COMBOS:
+                variant = build_system(
+                    match_workers=0,
+                    match_policy=policy,
+                    match_plan=match_plan,
+                    provider_index=provider_index,
+                )
+                label = f"pool {seed} ({match_plan}/{provider_index}/{policy})"
+                try:
+                    for query in compiled_ir:
+                        variant.submit_entangled(query)
+                    groups, pending = outcome_partition(variant)
+                    assert groups == reference_groups, f"{label}: groups differ"
+                    assert pending == reference_pending, f"{label}: pending differs"
+                    assert committed_answers(variant) == reference_answers, (
+                        f"{label}: committed tuples differ"
+                    )
+                    stats = variant.coordinator.matching_statistics()
+                    assert stats["match_plan"] == match_plan
+                    assert stats["provider_index"] == provider_index
+                    if match_plan == "compiled":
+                        total_plans_compiled += stats["plans_compiled"]
+                finally:
+                    variant.close()
+        finally:
+            reference.close()
+
+    # the harness must exercise both matched and permanently-pending pools,
+    # and the compiled path must actually compile plans
+    assert total_groups > 100
+    assert total_pending > 100
+    assert total_plans_compiled > 1000
