@@ -5,11 +5,30 @@ registering and jointly answering Kramer's and Jerry's queries against the
 four-flight database of Figure 1(a).  The paper reports no absolute numbers;
 the reproduced "shape" is that the pair coordinates in well under a
 millisecond-to-few-milliseconds on commodity hardware, i.e. interactive.
+
+Set ``BENCH_FIGURE1_JSON=/path/out.json`` to dump the timings for the
+bench-trajectory artifact.
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 from conftest import JERRY_SQL, KRAMER_SQL, figure1_system
+
+_RESULTS: dict = {"experiment": "bench_figure1"}
+
+
+def maybe_dump_json() -> None:
+    path = os.environ.get("BENCH_FIGURE1_JSON")
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_RESULTS, handle, indent=2, sort_keys=True)
+
+
+def benchmark_mean_ms(benchmark) -> float:
+    return 1000.0 * benchmark.stats.stats.mean
 
 
 def run_pair(system):
@@ -29,6 +48,8 @@ def test_figure1_pair_coordination(benchmark, report):
     assert len(reservations) == 2
     chosen = {fno for _traveler, fno in reservations}
     assert len(chosen) == 1 and chosen.pop() in (122, 123, 134)
+    _RESULTS["pair_coordination_ms"] = round(benchmark_mean_ms(benchmark), 3)
+    maybe_dump_json()
     report(
         reservation_tuples=2,
         same_flight=True,
@@ -42,6 +63,8 @@ def test_figure1_compile_only(benchmark, report):
 
     query = benchmark(lambda: compile_entangled(KRAMER_SQL, owner="Kramer"))
     assert query.heads[0].relation == "Reservation"
+    _RESULTS["compile_ms"] = round(benchmark_mean_ms(benchmark), 3)
+    maybe_dump_json()
     report(heads=len(query.heads), domains=len(query.domains), constraints=len(query.answer_atoms))
 
 
@@ -57,4 +80,6 @@ def test_figure1_first_query_waits(benchmark, report):
         return (figure1_system(),), {}
 
     benchmark.pedantic(register, setup=setup, rounds=30, iterations=1)
+    _RESULTS["first_query_register_ms"] = round(benchmark_mean_ms(benchmark), 3)
+    maybe_dump_json()
     report(outcome="pending", pool_size_after=1)

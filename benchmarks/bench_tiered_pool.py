@@ -1,0 +1,236 @@
+"""E16 — the tiered pending pool: bounded memory at 100k parked queries.
+
+The paper's steady state is a large population of entangled queries parked
+waiting for partners.  Untiered, every parked query keeps its parsed domain
+subqueries, predicate trees and compiled match plan resident, so the pending
+pool is the process's dominant allocation.  The tiered pool bounds it: at
+most ``pending_memory_limit`` queries stay fully materialized, the rest
+spill to the cold store and page back in on candidate hits.
+
+Three experiments, asserted hard:
+
+* **Parking capacity** — 100 000 unmatchable queries are parked under a
+  512-query memory limit.  Every one must be accepted and pending, and the
+  peak hot-set size must never exceed the limit (plus the one in-flight
+  insertion slot: eviction runs right after the insert that overflows).
+* **Hot-path throughput** — a stream of matching pairs is submitted over a
+  pool of spilled noise.  Tiered submit throughput must stay ≥0.7× the
+  untiered pool's: eviction bookkeeping may tax the hot path, paging must
+  not sit on it.
+* **Cold page-in** — partners arrive for queries that are resident only in
+  the cold store; every match must succeed via transparent page-in, and the
+  per-page-in latency is reported.
+
+Set ``BENCH_TIERED_JSON=/path/out.json`` to dump the raw numbers (the CI
+``tiering-benchmark`` job uploads this as an artifact for bench-trajectory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+from repro.core.config import SystemConfig
+from repro.core.system import YoutopiaSystem
+
+PARKED_QUERIES = 100_000
+PARK_MEMORY_LIMIT = 512
+
+NOISE_QUERIES = 2_000
+HOT_PAIRS = 1_000
+HOT_MEMORY_LIMIT = 256
+THROUGHPUT_GATE = 0.7
+
+PAGE_IN_POOL = 2_000
+PAGE_IN_MEMORY_LIMIT = 64
+PAGE_IN_MATCHES = 100
+
+
+def build_system(**config_kwargs) -> YoutopiaSystem:
+    system = YoutopiaSystem(config=SystemConfig(seed=0, **config_kwargs))
+    system.execute("CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT)")
+    system.execute("INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris')")
+    system.declare_answer_relation("Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"])
+    return system
+
+
+def entangled(user: str, partner: str) -> str:
+    return (
+        f"SELECT '{user}', fno INTO ANSWER Reservation "
+        f"WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris') "
+        f"AND ('{partner}', fno) IN ANSWER Reservation CHOOSE 1"
+    )
+
+
+def park_unmatchable(system: YoutopiaSystem, count: int, prefix: str) -> float:
+    """Submit ``count`` clones of one unmatchable query; returns the seconds.
+
+    One compile, ``count`` id-replaced submissions: every clone provides the
+    same constant and waits on a ghost nobody provides, so no submission ever
+    finds a candidate and the loop measures pure pool/park cost.  The ids
+    (``{prefix}-NNNNNN``) stay clear of the generated ``qN`` namespace.
+    """
+    template = system.compile(entangled(prefix, f"ghost-{prefix}"), owner=prefix)
+    started = time.perf_counter()
+    for index in range(count):
+        system.submit_entangled(
+            dataclasses.replace(template, query_id=f"{prefix}-{index:06d}")
+        )
+    return time.perf_counter() - started
+
+
+def submit_hot_pairs(system: YoutopiaSystem, pairs: int) -> float:
+    """Submit ``pairs`` immediately-matching pairs; returns the seconds."""
+    left = system.compile(entangled("hot-left", "hot-right"), owner="hot-left")
+    right = system.compile(entangled("hot-right", "hot-left"), owner="hot-right")
+    started = time.perf_counter()
+    for index in range(pairs):
+        system.submit_entangled(
+            dataclasses.replace(left, query_id=f"hotl-{index:06d}")
+        )
+        system.submit_entangled(
+            dataclasses.replace(right, query_id=f"hotr-{index:06d}")
+        )
+    return time.perf_counter() - started
+
+
+def maybe_dump_json(payload: dict) -> None:
+    path = os.environ.get("BENCH_TIERED_JSON")
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+_RESULTS: dict = {"experiment": "bench_tiered_pool"}
+
+
+def test_100k_parked_queries_with_bounded_hot_set(report):
+    """The capacity acceptance: 100k parked, hot set capped at the limit."""
+    system = build_system(
+        pending_memory_limit=PARK_MEMORY_LIMIT, cold_store="sqlite"
+    )
+    try:
+        elapsed = park_unmatchable(system, PARKED_QUERIES, "park")
+        stats = system.coordinator.tiering_statistics()
+
+        assert system.coordinator.pending_count() == PARKED_QUERIES
+        # the one transient slot: _evict_overflow runs right after the
+        # insert that overflowed, so hot momentarily reaches capacity + 1
+        assert stats["peak_hot"] <= PARK_MEMORY_LIMIT + 1, stats
+        assert stats["hot"] <= PARK_MEMORY_LIMIT
+        assert stats["hot"] + stats["cold"] == PARKED_QUERIES
+        assert stats["evictions"] >= PARKED_QUERIES - PARK_MEMORY_LIMIT
+
+        park_qps = PARKED_QUERIES / elapsed
+        _RESULTS.update(
+            parked=PARKED_QUERIES,
+            park_memory_limit=PARK_MEMORY_LIMIT,
+            park_seconds=round(elapsed, 3),
+            park_qps=round(park_qps, 1),
+            park_peak_hot=stats["peak_hot"],
+            park_evictions=stats["evictions"],
+        )
+        maybe_dump_json(_RESULTS)
+        report(
+            parked=PARKED_QUERIES,
+            memory_limit=PARK_MEMORY_LIMIT,
+            peak_hot=stats["peak_hot"],
+            cold=stats["cold"],
+            park_qps=round(park_qps, 1),
+        )
+    finally:
+        system.close()
+
+
+def test_hot_submit_throughput_within_gate_of_untiered(report):
+    """The hot-path acceptance: tiered submit throughput ≥0.7× untiered.
+
+    Both systems carry the same spilled/parked noise pool; the measured
+    stream is matching pairs that are answered on arrival, i.e. the workload
+    a correctly-tiered system should serve almost entirely from the hot set.
+    """
+    untiered = build_system()
+    tiered = build_system(
+        pending_memory_limit=HOT_MEMORY_LIMIT, cold_store="sqlite"
+    )
+    try:
+        park_unmatchable(untiered, NOISE_QUERIES, "noise")
+        park_unmatchable(tiered, NOISE_QUERIES, "noise")
+        assert tiered.coordinator.tiering_statistics()["cold"] > 0
+
+        untiered_seconds = submit_hot_pairs(untiered, HOT_PAIRS)
+        tiered_seconds = submit_hot_pairs(tiered, HOT_PAIRS)
+
+        answered = 2 * HOT_PAIRS
+        assert untiered.coordinator.pending_count() == NOISE_QUERIES
+        assert tiered.coordinator.pending_count() == NOISE_QUERIES
+
+        untiered_qps = answered / untiered_seconds
+        tiered_qps = answered / tiered_seconds
+        throughput_ratio = tiered_qps / untiered_qps
+        assert throughput_ratio >= THROUGHPUT_GATE, (
+            f"tiered hot-path throughput only {throughput_ratio:.2f}x untiered"
+        )
+
+        _RESULTS.update(
+            hot_pairs=HOT_PAIRS,
+            noise_queries=NOISE_QUERIES,
+            untiered_qps=round(untiered_qps, 1),
+            tiered_qps=round(tiered_qps, 1),
+            throughput_ratio=round(throughput_ratio, 3),
+        )
+        maybe_dump_json(_RESULTS)
+        report(
+            untiered_qps=round(untiered_qps, 1),
+            tiered_qps=round(tiered_qps, 1),
+            throughput_ratio=round(throughput_ratio, 2),
+        )
+    finally:
+        untiered.close()
+        tiered.close()
+
+
+def test_cold_queries_answer_via_page_in(report):
+    """The paging acceptance: cold-resident queries still coordinate."""
+    system = build_system(
+        pending_memory_limit=PAGE_IN_MEMORY_LIMIT, cold_store="sqlite"
+    )
+    try:
+        # distinct constants per parked query so each partner match is 1:1
+        for index in range(PAGE_IN_POOL):
+            system.submit_entangled(
+                entangled(f"solo-{index}", f"peer-{index}"), owner=f"solo-{index}"
+            )
+        stats = system.coordinator.tiering_statistics()
+        assert stats["cold"] >= PAGE_IN_POOL - PAGE_IN_MEMORY_LIMIT
+
+        # the earliest arrivals are cold under both eviction policies
+        started = time.perf_counter()
+        for index in range(PAGE_IN_MATCHES):
+            partner = system.submit_entangled(
+                entangled(f"peer-{index}", f"solo-{index}"), owner=f"peer-{index}"
+            )
+            assert partner.is_answered, f"partner {index} failed to match"
+        elapsed = time.perf_counter() - started
+
+        stats = system.coordinator.tiering_statistics()
+        assert stats["page_ins"] >= PAGE_IN_MATCHES
+        assert system.coordinator.pending_count() == PAGE_IN_POOL - PAGE_IN_MATCHES
+
+        _RESULTS.update(
+            page_in_pool=PAGE_IN_POOL,
+            page_in_matches=PAGE_IN_MATCHES,
+            page_ins=stats["page_ins"],
+            avg_page_in_ms=stats["avg_page_in_ms"],
+            page_in_match_seconds=round(elapsed, 3),
+        )
+        maybe_dump_json(_RESULTS)
+        report(
+            page_ins=stats["page_ins"],
+            avg_page_in_ms=stats["avg_page_in_ms"],
+            matches=PAGE_IN_MATCHES,
+        )
+    finally:
+        system.close()

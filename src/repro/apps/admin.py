@@ -186,6 +186,27 @@ class AdminInterface:
             ]
         )
 
+    def tiering_stats(self) -> dict:
+        """The tiered-pool block of :meth:`ServiceStats` (disabled marker when off)."""
+        return dict(self.service.stats().tiering)
+
+    def tiering_text(self) -> str:
+        stats = self.tiering_stats()
+        if not stats.get("enabled"):
+            return "(tiering off: all pending queries resident)"
+        return "\n".join(
+            [
+                f"memory_limit = {stats.get('memory_limit')} "
+                f"(eviction_policy={stats.get('eviction_policy')}, "
+                f"backend={stats.get('backend')})",
+                f"residency: hot={stats.get('hot', 0)} cold={stats.get('cold', 0)} "
+                f"peak_hot={stats.get('peak_hot', 0)}",
+                f"traffic: evictions={stats.get('evictions', 0)} "
+                f"page_ins={stats.get('page_ins', 0)} "
+                f"avg_page_in={stats.get('avg_page_in_ms', 0.0)}ms",
+            ]
+        )
+
     def cluster_stats(self) -> dict:
         """The cluster block of :meth:`ServiceStats` (empty for single-node)."""
         return dict(self.service.stats().cluster)
@@ -329,6 +350,8 @@ class AdminInterface:
         sections.append(self.shard_text())
         sections.append("\n-- match policy --")
         sections.append(self.matching_text())
+        sections.append("\n-- tiering --")
+        sections.append(self.tiering_text())
         sections.append("\n-- transport --")
         sections.append(self.transport_text())
         sections.append("\n-- cluster --")

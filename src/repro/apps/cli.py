@@ -247,6 +247,20 @@ class CommandLine:
                         pair_hits=matching.get("pair_ops_hits", 0),
                     )
                 )
+            tiering = dict(stats.tiering)
+            if tiering.get("enabled"):
+                lines.append(
+                    "tiering = {policy}/{backend} (limit={limit}, hot={hot}, "
+                    "cold={cold}, evictions={evictions}, page_ins={page_ins})".format(
+                        policy=tiering.get("eviction_policy"),
+                        backend=tiering.get("backend"),
+                        limit=tiering.get("memory_limit"),
+                        hot=tiering.get("hot", 0),
+                        cold=tiering.get("cold", 0),
+                        evictions=tiering.get("evictions", 0),
+                        page_ins=tiering.get("page_ins", 0),
+                    )
+                )
             return "\n".join(lines)
         if name == ".retry":
             answered = self.service.retry_pending()
@@ -337,6 +351,30 @@ def build_parser() -> argparse.ArgumentParser:
         "attribute refinement)",
     )
     serve.add_argument(
+        "--pending-memory-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max pending queries resident in shard memory; colder queries "
+        "spill to the --cold-store backend and page back in on candidate "
+        "hits (default: unlimited, tiering off)",
+    )
+    serve.add_argument(
+        "--cold-store",
+        default="sqlite",
+        help="storage backend scheme for spilled pending queries (needs "
+        "--pending-memory-limit); built-in: sqlite (durable, file-backed "
+        "under --data-dir), memory (process-local, for testing)",
+    )
+    serve.add_argument(
+        "--eviction-policy",
+        choices=["lru", "fifo"],
+        default="lru",
+        help="which hot pending query spills when the memory limit is hit: "
+        "lru (least recently touched by a match probe) or fifo (oldest "
+        "arrival)",
+    )
+    serve.add_argument(
         "--cluster-node",
         default=None,
         metavar="I/N",
@@ -422,6 +460,9 @@ def build_server(
     policy_candidate_limit: int = 16,
     match_plan: str = "compiled",
     provider_index: str = "grid",
+    pending_memory_limit: Optional[int] = None,
+    cold_store: str = "sqlite",
+    eviction_policy: str = "lru",
 ) -> Union[CoordinationServer, BackgroundAsyncServer]:
     """Assemble (and start) the server the ``serve`` sub-command runs.
 
@@ -484,6 +525,9 @@ def build_server(
         policy_candidate_limit=policy_candidate_limit,
         match_plan=match_plan,
         provider_index=provider_index,
+        pending_memory_limit=pending_memory_limit,
+        cold_store=cold_store,
+        eviction_policy=eviction_policy,
     )
     service = InProcessService(config=config)
     if cluster_node is not None:
@@ -557,6 +601,7 @@ def _bootstrap(
         return service
 
     from repro.core.durability import SNAPSHOT_FILE, WAL_FILE, write_durable_marker
+    from repro.storage.backends import COLD_STORE_FILE, COLD_STORE_SIDECARS
 
     done = Path(data_dir) / "bootstrap.done"
     started = Path(data_dir) / "bootstrap.started"
@@ -572,7 +617,7 @@ def _bootstrap(
     if started.exists():
         # provably crashed mid-bootstrap: wipe the partial state and redo
         service.close()
-        for name in (SNAPSHOT_FILE, WAL_FILE):
+        for name in (SNAPSHOT_FILE, WAL_FILE, COLD_STORE_FILE, *COLD_STORE_SIDECARS):
             (Path(data_dir) / name).unlink(missing_ok=True)
         service = InProcessService(config=config)
     write_durable_marker(started)
@@ -615,6 +660,9 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - interac
             policy_candidate_limit=args.policy_candidate_limit,
             match_plan=args.match_plan,
             provider_index=args.provider_index,
+            pending_memory_limit=args.pending_memory_limit,
+            cold_store=args.cold_store,
+            eviction_policy=args.eviction_policy,
         )
         transport_label = "standby" if args.standby_of else args.transport
         system = server.service.system

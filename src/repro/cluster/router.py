@@ -822,6 +822,9 @@ class ClusterRouter(AsyncServerBase):
         match_policies: set[str] = set()
         match_plans: set[str] = set()
         provider_indexes: set[str] = set()
+        tiering: dict[str, Any] = {"enabled": False}
+        tiering_policies: set[str] = set()
+        tiering_backends: set[str] = set()
         routed_counts = self.registry.counts_by_node(self.placement.node_count)
         for spec, stats in zip(self.placement.nodes, per_node):
             block: dict[str, Any] = {
@@ -856,6 +859,22 @@ class ClusterRouter(AsyncServerBase):
                         matching[key] = matching.get(key, 0) + value
                     if "candidate_limit" in node_matching:
                         matching["candidate_limit"] = node_matching["candidate_limit"]
+                node_tiering = stats.get("tiering") or {}
+                if node_tiering.get("enabled"):
+                    # Numeric tiering counters sum across nodes; policy and
+                    # backend strings follow the "mixed" convention, and the
+                    # derived latency average is recomputed from the sums.
+                    tiering["enabled"] = True
+                    if node_tiering.get("eviction_policy"):
+                        tiering_policies.add(str(node_tiering["eviction_policy"]))
+                    if node_tiering.get("backend"):
+                        tiering_backends.add(str(node_tiering["backend"]))
+                    for key, value in node_tiering.items():
+                        if key in ("enabled", "eviction_policy", "backend", "avg_page_in_ms"):
+                            continue
+                        if isinstance(value, bool) or not isinstance(value, (int, float)):
+                            continue
+                        tiering[key] = tiering.get(key, 0) + value
                 durability = stats.get("durability") or {}
                 block["wal_last_lsn"] = durability.get("wal_last_lsn")
                 block["wal_subscribers"] = durability.get("wal_subscribers")
@@ -905,6 +924,19 @@ class ClusterRouter(AsyncServerBase):
             matching["provider_index"] = (
                 next(iter(provider_indexes)) if len(provider_indexes) == 1 else "mixed"
             )
+        if tiering["enabled"]:
+            tiering["eviction_policy"] = (
+                next(iter(tiering_policies)) if len(tiering_policies) == 1 else "mixed"
+            )
+            tiering["backend"] = (
+                next(iter(tiering_backends)) if len(tiering_backends) == 1 else "mixed"
+            )
+            page_ins = tiering.get("page_ins") or 0
+            tiering["avg_page_in_ms"] = (
+                round(1000.0 * tiering.get("page_in_seconds", 0.0) / page_ins, 3)
+                if page_ins
+                else 0.0
+            )
         return {
             "counters": counters,
             "pending": pending,
@@ -913,6 +945,7 @@ class ClusterRouter(AsyncServerBase):
             "transport": self.metrics.snapshot(),
             "cluster": cluster,
             "matching": matching,
+            "tiering": tiering,
         }
 
     async def _standby_lag(

@@ -109,6 +109,28 @@ class SystemConfig:
         bucket to restore arrival order.  Candidate order is identical in
         both.  ``use_constant_index=False`` degrades either index to the
         naive (relation, arity) scan.
+    pending_memory_limit:
+        System-wide bound on *fully-materialized* pending queries.  ``None``
+        (the default) keeps the classic all-in-memory pool.  With a limit,
+        every pending pool becomes a :class:`~repro.core.tiering.TieredPool`:
+        the budget is split evenly across shards, recently-touched queries
+        stay hot in shard memory, and colder ones are evicted to the
+        ``cold_store`` backend — their provider-index entries stay resident,
+        so a candidate hit transparently pages the query back in before the
+        match attempt.  Answers are identical to the untiered pool; only
+        memory (bounded) and page-in latency (on cold hits) change.
+    cold_store:
+        Which :mod:`repro.storage.backends` scheme holds evicted queries:
+        ``"sqlite"`` (the default — ``cold_store.db`` inside ``data_dir``,
+        or an in-memory SQLite database without one) or ``"memory"``; custom
+        backends register via
+        :func:`repro.storage.backends.register_backend`.  Ignored without
+        ``pending_memory_limit``.
+    eviction_policy:
+        Which hot query spills when a pool exceeds its budget: ``"lru"``
+        (the default — touches on every probe, so actively-matching queries
+        stay hot) or ``"fifo"`` (strict arrival order, no touch accounting).
+        Ignored without ``pending_memory_limit``.
     """
 
     seed: Optional[int] = None
@@ -129,6 +151,9 @@ class SystemConfig:
     policy_cost_attribute: str = "price"
     match_plan: str = "compiled"
     provider_index: str = "grid"
+    pending_memory_limit: Optional[int] = None
+    cold_store: str = "sqlite"
+    eviction_policy: str = "lru"
 
     @property
     def resolved_shard_count(self) -> int:
@@ -162,4 +187,7 @@ class SystemConfig:
             "policy_cost_attribute": self.policy_cost_attribute,
             "match_plan": self.match_plan,
             "provider_index": self.provider_index,
+            "pending_memory_limit": self.pending_memory_limit,
+            "cold_store": self.cold_store,
+            "eviction_policy": self.eviction_policy,
         }

@@ -28,7 +28,17 @@ import threading
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.core import ir
 from repro.core.answer import AnswerRelationRegistry
@@ -48,12 +58,14 @@ from repro.core.policy import (
 )
 from repro.core.safety import AnalysisReport, check
 from repro.core.stats import CoordinationStatistics
+from repro.core.tiering import TieringManager
 from repro.errors import (
     CoordinationTimeoutError,
     EntanglementError,
     ExecutionError,
     QueryAlreadyAnsweredError,
     QueryNotPendingError,
+    StorageError,
     YoutopiaError,
 )
 from repro.relalg.engine import QueryEngine
@@ -167,7 +179,7 @@ class Coordinator:
         #: through it while the relevant locks are still held.
         self.journal: Optional["DurabilityManager"] = None
 
-        self._pool: dict[str, ir.EntangledQuery] = {}
+        self._pool: MutableMapping[str, ir.EntangledQuery] = {}
         self._requests: dict[str, CoordinationRequest] = {}
         self._done_callbacks: dict[str, list[Callable[[CoordinationRequest], None]]] = {}
         self._lock = threading.RLock()
@@ -176,6 +188,26 @@ class Coordinator:
         # not suppress data-change notifications caused by *other* threads.
         self._executing = threading.local()
         self._data_dirty = False
+
+        # Tiered pending pool: with a memory limit, cold queries spill to a
+        # pluggable backend and page back in on candidate hits.  The backend
+        # opens here — before the system attaches durability and replays the
+        # journal — so recovery can resolve snapshot references into it.
+        self._tiering: Optional[TieringManager] = None
+        if config.pending_memory_limit is not None:
+            from repro.storage.backends import create_backend
+
+            backend = create_backend(
+                config.cold_store, config.data_dir, config.fsync_policy
+            )
+            self._tiering = TieringManager(
+                backend,
+                config.pending_memory_limit,
+                eviction_policy=config.eviction_policy,
+                on_evict=self._tiering_evicted,
+                on_page_in=self._tiering_paged_in,
+            )
+            self._pool = self._tiering.new_pool()
 
         self._ensure_pending_table()
         if config.auto_retry_on_data_change:
@@ -521,6 +553,30 @@ class Coordinator:
         self._index.remove_query(query)
         self._evict_match_plan(query_id)
 
+    # -- tiering hooks -----------------------------------------------------------------
+
+    def _tiering_evicted(self, query_id: str, stub: ir.EntangledQuery) -> None:
+        """A pool spilled ``query_id``: release its materialized state.
+
+        Called by the :class:`~repro.core.tiering.TieredPool` under the
+        pool's guarding lock (shard lock when sharded).  The request record
+        swaps to the structural stub — heads, owner, priority and the exact
+        SQL survive, so routing, journaling and wire encoding stay correct —
+        and the compiled match plan is dropped with the IR it indexed.
+        """
+        self._evict_match_plan(query_id)
+        with self._lock:
+            request = self._requests.get(query_id)
+            if request is not None and request.status is QueryStatus.PENDING:
+                request.query = stub
+
+    def _tiering_paged_in(self, query_id: str, query: ir.EntangledQuery) -> None:
+        """A pool restored ``query_id``: re-point its request at the full IR."""
+        with self._lock:
+            request = self._requests.get(query_id)
+            if request is not None and request.status is QueryStatus.PENDING:
+                request.query = query
+
     # -- match-plan cache lifecycle ----------------------------------------------------
 
     @property
@@ -828,11 +884,29 @@ class Coordinator:
                     ],
                 }
             )
+        requests_state: list[dict[str, Any]] = []
+        for request in self._requests.values():
+            entry = encode_request(request)
+            if (
+                self._tiering is not None
+                and request.status is QueryStatus.PENDING
+                and self._tiering.is_cold(request.query_id)
+            ):
+                # The spill store *is* checkpointed state: reference the
+                # cold entry instead of re-serializing it.  recover_request
+                # resolves the reference from the backend; sync() below
+                # makes every referenced payload durable before the
+                # snapshot file itself is written.
+                entry["sql"] = None
+                entry["residence"] = "cold"
+            requests_state.append(entry)
+        if self._tiering is not None:
+            self._tiering.sync()
         return {
             "version": SNAPSHOT_VERSION,
             "tables": tables,
             "answer_relations": self.registry.names(),
-            "requests": [encode_request(request) for request in self._requests.values()],
+            "requests": requests_state,
             "counters": self.statistics.as_dict(),
         }
 
@@ -860,14 +934,34 @@ class Coordinator:
                 return False
         owner = state.get("owner")
         sql = state.get("sql")
+        priority = state.get("priority")
+        if not sql and state.get("residence") == "cold" and self._tiering is not None:
+            # The snapshot referenced this query's cold-store payload rather
+            # than re-serializing it.  Resolve the reference: the query
+            # re-enters the pool hot, and natural eviction re-spills past
+            # the memory budget — which is how hot/cold placement is
+            # rebuilt after a crash.
+            payload = self._tiering.backend.get(query_id)
+            if payload is not None:
+                from repro.storage.backends import decode_payload
+
+                try:
+                    decoded = decode_payload(payload)
+                except StorageError:
+                    decoded = None
+                if decoded is not None:
+                    sql = decoded.get("sql")
+                    owner = decoded.get("owner") or owner
+                    if decoded.get("priority") is not None:
+                        priority = decoded["priority"]
         query: Optional[ir.EntangledQuery] = None
         if sql:
             try:
                 query = dataclasses.replace(
                     compile_entangled(str(sql), owner=owner), query_id=query_id
                 )
-                if state.get("priority") is not None:
-                    query = dataclasses.replace(query, priority=float(state["priority"]))
+                if priority is not None:
+                    query = dataclasses.replace(query, priority=float(priority))
             except YoutopiaError:
                 query = None
         if query is None:
@@ -899,7 +993,8 @@ class Coordinator:
             status = QueryStatus.REJECTED
             request.error = (
                 f"recovery could not recompile query {query_id!r} from its "
-                f"journaled SQL; the request cannot re-enter the pending pool"
+                f"journaled SQL or cold-store payload; the request cannot "
+                f"re-enter the pending pool"
             )
 
         request.status = status
@@ -1035,6 +1130,18 @@ class Coordinator:
             stats.update(cache.statistics())
         return stats
 
+    def tiering_statistics(self) -> dict[str, Any]:
+        """The ``ServiceStats.tiering`` block.
+
+        ``{"enabled": False}`` without a memory limit; otherwise hot/cold
+        residency, eviction/page-in counters and page-in latency.  Counter
+        reads are lock-free — they are monotonic ints mutated under pool
+        locks, and a slightly stale stats block is fine.
+        """
+        if self._tiering is None:
+            return {"enabled": False}
+        return self._tiering.statistics()
+
     def shard_stats(self) -> list[dict[str, int]]:
         """Per-shard introspection; the inline coordinator is one big shard."""
         with self._lock:
@@ -1062,4 +1169,10 @@ class Coordinator:
         return True
 
     def shutdown(self) -> None:
-        """Stop background matching resources (no-op for the inline path)."""
+        """Release background matching resources and close the cold store.
+
+        Runs after the system's final checkpoint, so every payload a
+        snapshot references has already been synced.
+        """
+        if self._tiering is not None:
+            self._tiering.close()

@@ -56,7 +56,7 @@ import time
 import zlib
 from collections import deque
 from contextlib import ExitStack, contextmanager, nullcontext
-from typing import Any, Callable, Iterator, Optional, Sequence, Union
+from typing import Any, Callable, Iterator, MutableMapping, Optional, Sequence, Union
 
 from repro.core import ir
 from repro.core.coordinator import CoordinationRequest, Coordinator, QueryStatus
@@ -161,7 +161,9 @@ class QueryShard:
     ) -> None:
         self.shard_id = shard_id
         self.lock = threading.RLock()
-        self.pool: dict[str, ir.EntangledQuery] = {}
+        # A plain dict, or a TieredPool when the coordinator has a
+        # pending_memory_limit — same mapping surface either way.
+        self.pool: MutableMapping[str, ir.EntangledQuery] = {}
         self.index: Union[ProviderIndex, GridProviderIndex] = build_provider_index(
             provider_index, use_constant_index=use_constant_index
         )
@@ -453,6 +455,15 @@ class ShardedCoordinator(Coordinator):
             provider_index=self.config.provider_index,
         )
         self._all_shards = self._shards + [self._global_shard]
+        if self._tiering is not None:
+            # Re-budget the hot set over the pools that will actually hold
+            # queries: the base class's inline pool is vestigial here, and
+            # swapping shard pools is safe because the worker pool (below)
+            # has not started yet.
+            self._tiering.drop_pool(self._pool)
+            self._pool = {}
+            for shard in self._all_shards:
+                shard.pool = self._tiering.new_pool()
         self._db_lock = threading.RLock()
         # Done-callbacks must not run while worker/shard locks are held (a
         # callback re-entering the coordinator from another thread's lock
@@ -861,3 +872,4 @@ class ShardedCoordinator(Coordinator):
     def shutdown(self) -> None:
         """Stop the worker pool (idempotent; queued events are abandoned)."""
         self._workers.shutdown()
+        super().shutdown()

@@ -176,7 +176,12 @@ class ServiceStats:
     ``matching`` describes match-group selection: the active policy name,
     the candidate enumeration limit, and per-policy decision counters
     (decisions, groups enumerated/skipped, ties broken) — see
-    :class:`~repro.core.policy.PolicyStatistics`.
+    :class:`~repro.core.policy.PolicyStatistics`.  ``tiering`` describes the
+    tiered pending pool (``{"enabled": False}`` without a
+    ``pending_memory_limit``; otherwise the memory budget, eviction policy,
+    cold-store backend, hot/cold residency counts, eviction and page-in
+    counters and cumulative page-in latency — see
+    :class:`~repro.core.tiering.TieringManager`).
     """
 
     counters: Mapping[str, int]
@@ -186,6 +191,7 @@ class ServiceStats:
     transport: Mapping[str, int] = field(default_factory=dict)
     cluster: Mapping[str, Any] = field(default_factory=dict)
     matching: Mapping[str, Any] = field(default_factory=dict)
+    tiering: Mapping[str, Any] = field(default_factory=lambda: {"enabled": False})
 
     def __getitem__(self, key: str) -> int:
         return self.counters[key]

@@ -177,6 +177,7 @@ class InProcessService:
             durability=self.system.durability_stats(),
             cluster=dict(cluster or {}),
             matching=self.coordinator.matching_statistics(),
+            tiering=self.coordinator.tiering_statistics(),
         )
 
     def drain(self, timeout: Optional[float] = None) -> bool:

@@ -387,6 +387,7 @@ def encode_stats(stats: Any, transport: Mapping[str, int]) -> dict[str, Any]:
         "transport": dict(transport),
         "cluster": dict(getattr(stats, "cluster", None) or {}),
         "matching": dict(getattr(stats, "matching", None) or {}),
+        "tiering": dict(getattr(stats, "tiering", None) or {"enabled": False}),
     }
 
 
@@ -401,6 +402,7 @@ def decode_stats(payload: Mapping[str, Any]) -> Any:
         transport=dict(payload.get("transport") or {}),
         cluster=dict(payload.get("cluster") or {}),
         matching=dict(payload.get("matching") or {}),
+        tiering=dict(payload.get("tiering") or {"enabled": False}),
     )
 
 

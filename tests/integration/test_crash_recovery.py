@@ -48,7 +48,12 @@ def booking_sql(traveler: str, companion: str, dest: str = "Paris") -> str:
 class ServerProcess:
     """One ``youtopia-cli serve`` subprocess bound to an ephemeral port."""
 
-    def __init__(self, data_dir: Path, script: Path | None = None) -> None:
+    def __init__(
+        self,
+        data_dir: Path,
+        script: Path | None = None,
+        extra_args: list[str] | None = None,
+    ) -> None:
         argv = [
             sys.executable,
             "-m",
@@ -65,6 +70,8 @@ class ServerProcess:
         ]
         if script is not None:
             argv += ["--script", str(script)]
+        if extra_args:
+            argv += extra_args
         env = dict(os.environ)
         src = str(REPO_ROOT / "src")
         env["PYTHONPATH"] = src + (
@@ -233,6 +240,76 @@ def test_sigkill_mid_stream_recovers_every_acknowledged_query(tmp_path, schema_f
         assert durability.get("enabled") is True
         recovery = durability.get("recovery") or {}
         assert recovery.get("pending_recovered", 0) >= len(acked_pending)
+    finally:
+        restarted.terminate()
+
+
+def test_sigkill_with_spilled_cold_queries_recovers_every_acked_query(
+    tmp_path, schema_file
+):
+    """The tiering acceptance crash: acked queries resident only in the cold
+    store (snapshots reference their spilled payloads instead of inlining
+    SQL) must survive a SIGKILL and still coordinate after the restart."""
+    data_dir = tmp_path / "data"
+    tiering_args = [
+        "--pending-memory-limit",
+        "4",
+        "--cold-store",
+        "sqlite",
+        # small interval so snapshots are cut while most queries are cold,
+        # exercising the cold-reference (sql=None) snapshot encoding
+        "--snapshot-interval",
+        "10",
+    ]
+    server = ServerProcess(data_dir, script=schema_file, extra_args=tiering_args)
+    acked: list[str] = []
+    try:
+        client = server.connect()
+        client.declare_answer_relation(
+            "Reservation", ["traveler", "fno"], ["TEXT", "INTEGER"]
+        )
+        for index in range(20):
+            handle = client.submit(
+                booking_sql(f"solo-{index}", f"ghost-{index}"), owner=f"solo-{index}"
+            )
+            acked.append(handle.query_id)
+
+        tiering = client.stats().tiering
+        assert tiering.get("enabled") is True
+        assert tiering.get("hot", 0) <= 4
+        assert tiering.get("cold", 0) >= 16, tiering
+        assert (data_dir / "cold_store.db").exists()
+
+        server.sigkill()  # no shutdown handshake: the cold store must be
+        # consistent purely from the snapshot-time sync barrier
+    finally:
+        server.terminate()
+
+    restarted = ServerProcess(data_dir, script=schema_file, extra_args=tiering_args)
+    try:
+        client = restarted.connect()
+        states = {handle.query_id: handle for handle in client.requests()}
+        pending_ids = {query.query_id for query in client.pending_queries()}
+        for query_id in acked:
+            assert query_id in states, f"acked query {query_id} lost by the crash"
+            assert states[query_id].status is QueryStatus.PENDING
+            assert query_id in pending_ids
+
+        # recovery rebuilt a bounded hot/cold placement, not an untiered pool
+        tiering = client.stats().tiering
+        assert tiering.get("enabled") is True
+        assert tiering.get("hot", 0) <= 4
+        assert tiering.get("hot", 0) + tiering.get("cold", 0) == len(acked)
+
+        # recovered queries still coordinate — six partners against a hot
+        # set of four means at least two answers needed a cold page-in
+        for index in range(6):
+            partner = client.submit(
+                booking_sql(f"ghost-{index}", f"solo-{index}"), owner=f"ghost-{index}"
+            )
+            partner.result(timeout=10.0)
+            assert client.request(acked[index]).status is QueryStatus.ANSWERED
+        assert client.stats().tiering.get("page_ins", 0) >= 1
     finally:
         restarted.terminate()
 

@@ -383,3 +383,88 @@ def test_match_plans_and_indexes_are_answer_equivalent_over_200_random_pools():
     assert total_groups > 100
     assert total_pending > 100
     assert total_plans_compiled > 1000
+
+
+# ---------------------------------------------------------------------------
+# Tiering invariance: the tiered pending pool (hot/cold split + page-in) is a
+# pure memory optimisation — under a tiny memory limit, every eviction policy
+# answers the same partition and commits byte-identical tuples as the
+# untiered pool, under every selection-policy rotation.
+# ---------------------------------------------------------------------------
+
+TIERED_VARIANTS = (
+    {"pending_memory_limit": 4, "cold_store": "memory", "eviction_policy": "lru"},
+    {"pending_memory_limit": 4, "cold_store": "memory", "eviction_policy": "fifo"},
+    {"pending_memory_limit": 1, "cold_store": "sqlite", "eviction_policy": "lru"},
+)
+
+
+def test_tiered_pool_is_answer_equivalent_over_200_random_pools():
+    """200 pools: untiered reference ≡ tiered pools under aggressive spill.
+
+    The tiered pool pages a cold query back in *before* any match attempt and
+    keeps id-sweep order identical to the untiered dict, so candidate
+    enumeration and RNG consumption never diverge: the committed answer
+    tuples must match exactly, in order, for every rotation of the selection
+    policy and for both eviction orders (``memory_limit=1`` forces nearly the
+    whole pool through the cold store — the sqlite variant proves the default
+    backend, not just the in-memory one).
+    """
+    total_groups = 0
+    total_pending = 0
+    total_evictions = 0
+    total_page_ins = 0
+    for seed in range(NUM_POOLS):
+        rng = random.Random(seed)
+        statements = PoolBuilder(rng).build()
+        policy = ALL_POLICIES[seed % len(ALL_POLICIES)]
+
+        reference = build_system(match_workers=0, match_policy=policy)
+        try:
+            compiled_ir = [reference.compile(sql) for sql in statements]
+            for query in compiled_ir:
+                reference.submit_entangled(query)
+            reference_groups, reference_pending = outcome_partition(reference)
+            reference_answers = committed_answers(reference)
+            total_groups += len(reference_groups)
+            total_pending += len(reference_pending)
+
+            for variant_config in TIERED_VARIANTS:
+                tiered = build_system(
+                    match_workers=0, match_policy=policy, **variant_config
+                )
+                label = (
+                    f"pool {seed} (limit={variant_config['pending_memory_limit']}/"
+                    f"{variant_config['cold_store']}/"
+                    f"{variant_config['eviction_policy']}/{policy})"
+                )
+                try:
+                    for query in compiled_ir:
+                        tiered.submit_entangled(query)
+                    groups, pending = outcome_partition(tiered)
+                    assert groups == reference_groups, f"{label}: groups differ"
+                    assert pending == reference_pending, f"{label}: pending differs"
+                    assert committed_answers(tiered) == reference_answers, (
+                        f"{label}: committed tuples differ"
+                    )
+                    stats = tiered.coordinator.tiering_statistics()
+                    assert stats["enabled"], label
+                    assert stats["hot"] <= variant_config["pending_memory_limit"], (
+                        f"{label}: hot set exceeds the memory limit"
+                    )
+                    assert stats["hot"] + stats["cold"] == len(pending), (
+                        f"{label}: tier residency does not cover the pending set"
+                    )
+                    total_evictions += stats["evictions"]
+                    total_page_ins += stats["page_ins"]
+                finally:
+                    tiered.close()
+        finally:
+            reference.close()
+
+    # the differential pass must actually push queries through the cold
+    # store and page them back for matching, not just run with tiering on
+    assert total_groups > 100
+    assert total_pending > 100
+    assert total_evictions > 1000
+    assert total_page_ins > 1000

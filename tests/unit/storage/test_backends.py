@@ -1,0 +1,192 @@
+"""Unit tests for the pluggable pending-store backends (cold-query spill)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.backends import (
+    COLD_STORE_FILE,
+    MemoryPendingStore,
+    PendingStoreBackend,
+    SQLitePendingStore,
+    backend_schemes,
+    create_backend,
+    decode_payload,
+    encode_payload,
+    register_backend,
+)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        store = MemoryPendingStore()
+    else:
+        store = SQLitePendingStore(tmp_path / COLD_STORE_FILE)
+    yield store
+    store.close()
+
+
+class TestBackendContract:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, PendingStoreBackend)
+
+    def test_put_get_roundtrip(self, backend):
+        backend.put("q1", '{"sql": "SELECT 1"}')
+        assert backend.get("q1") == '{"sql": "SELECT 1"}'
+        assert backend.get("missing") is None
+
+    def test_put_replaces(self, backend):
+        backend.put("q1", "old")
+        backend.put("q1", "new")
+        assert backend.get("q1") == "new"
+        assert len(backend) == 1
+
+    def test_delete_and_absent_delete(self, backend):
+        backend.put("q1", "payload")
+        backend.delete("q1")
+        assert backend.get("q1") is None
+        backend.delete("q1")  # absent keys are a no-op by contract
+        assert len(backend) == 0
+
+    def test_keys_and_len(self, backend):
+        for index in range(5):
+            backend.put(f"q{index}", f"p{index}")
+        assert len(backend) == 5
+        assert sorted(backend.keys()) == [f"q{index}" for index in range(5)]
+
+    def test_describe_is_short_text(self, backend):
+        assert isinstance(backend.describe(), str)
+        assert backend.describe()
+
+    def test_concurrent_mutation(self, backend):
+        def worker(base: int) -> None:
+            for index in range(50):
+                key = f"q{base}-{index}"
+                backend.put(key, "payload")
+                assert backend.get(key) == "payload"
+                if index % 2:
+                    backend.delete(key)
+
+        threads = [threading.Thread(target=worker, args=(base,)) for base in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(backend) == 4 * 25
+
+
+class TestSQLiteStore:
+    def test_payloads_survive_reopen_after_sync(self, tmp_path):
+        path = tmp_path / COLD_STORE_FILE
+        store = SQLitePendingStore(path, fsync_policy="always")
+        store.put("q1", "payload-1")
+        store.sync()
+        store.close()
+        reopened = SQLitePendingStore(path)
+        assert reopened.get("q1") == "payload-1"
+        reopened.close()
+
+    def test_close_is_idempotent_and_flushes(self, tmp_path):
+        path = tmp_path / COLD_STORE_FILE
+        store = SQLitePendingStore(path)
+        store.put("q1", "payload-1")
+        store.close()
+        store.close()
+        reopened = SQLitePendingStore(path)
+        assert reopened.get("q1") == "payload-1"
+        reopened.close()
+
+    def test_use_after_close_raises(self, tmp_path):
+        store = SQLitePendingStore(tmp_path / COLD_STORE_FILE)
+        store.close()
+        with pytest.raises(StorageError):
+            store.put("q1", "payload")
+
+    def test_batched_commits_commit_on_interval(self, tmp_path):
+        path = tmp_path / COLD_STORE_FILE
+        store = SQLitePendingStore(path, fsync_policy="batch", commit_interval=2)
+        store.put("q1", "p1")
+        store.put("q2", "p2")  # second mutation crosses the interval
+        other = SQLitePendingStore(path)
+        assert other.get("q1") == "p1"
+        other.close()
+        store.close()
+
+    def test_rejects_unknown_fsync_policy(self, tmp_path):
+        with pytest.raises(StorageError, match="fsync_policy"):
+            SQLitePendingStore(tmp_path / COLD_STORE_FILE, fsync_policy="sometimes")
+
+    def test_creates_parent_directories(self, tmp_path):
+        nested = tmp_path / "a" / "b" / COLD_STORE_FILE
+        store = SQLitePendingStore(nested)
+        store.put("q1", "p1")
+        store.close()
+        assert nested.exists()
+
+
+class TestRegistry:
+    def test_builtin_schemes(self):
+        assert "sqlite" in backend_schemes()
+        assert "memory" in backend_schemes()
+
+    def test_unknown_scheme_names_known_ones(self, tmp_path):
+        with pytest.raises(StorageError, match="sqlite"):
+            create_backend("postgres-someday", tmp_path)
+
+    def test_sqlite_scheme_lands_in_data_dir(self, tmp_path):
+        store = create_backend("sqlite", tmp_path, "always")
+        try:
+            store.put("q1", "p1")
+            store.sync()
+            assert (tmp_path / COLD_STORE_FILE).exists()
+        finally:
+            store.close()
+
+    def test_sqlite_scheme_without_data_dir_is_in_memory(self):
+        store = create_backend("sqlite", None)
+        try:
+            assert store.describe() == "sqlite:memory"
+        finally:
+            store.close()
+
+    def test_custom_scheme_registers_and_resolves(self):
+        created = []
+
+        def factory(data_dir, fsync_policy):
+            store = MemoryPendingStore()
+            created.append((data_dir, fsync_policy, store))
+            return store
+
+        register_backend("test-kv", factory)
+        try:
+            store = create_backend("TEST-KV", None, "never")
+            assert created[0][1] == "never"
+            assert created[0][2] is store
+        finally:
+            from repro.storage import backends as module
+
+            module._REGISTRY.pop("test-kv", None)
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self):
+        payload = encode_payload("SELECT 1 CHOOSE 1", "Kramer", 2.5)
+        decoded = decode_payload(payload)
+        assert decoded == {"sql": "SELECT 1 CHOOSE 1", "owner": "Kramer", "priority": 2.5}
+
+    def test_none_owner_and_priority(self):
+        decoded = decode_payload(encode_payload("SELECT 1", None, None))
+        assert decoded["owner"] is None
+        assert decoded["priority"] is None
+
+    def test_corrupt_json_raises(self):
+        with pytest.raises(StorageError, match="corrupt"):
+            decode_payload("{not json")
+
+    def test_missing_sql_raises(self):
+        with pytest.raises(StorageError, match="missing sql"):
+            decode_payload('{"owner": "Kramer"}')
